@@ -1,0 +1,60 @@
+//! Criterion bench for E6's packers: OTN per-link grooming vs
+//! muxponder end-to-end packing over NSFNET, at increasing demand counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use otn::grooming::{Demand, MuxponderPacker, OtnGroomer};
+use otn::OduRate;
+use photonic::{LineRate, PhotonicNetwork, RoadmId};
+use simcore::SimRng;
+
+fn demands(net: &PhotonicNetwork, n: usize, seed: u64) -> Vec<Demand> {
+    let mut rng = SimRng::new(seed);
+    let nodes: Vec<RoadmId> = net.roadm_ids().collect();
+    (0..n)
+        .map(|i| {
+            let a = *rng.choose(&nodes);
+            let mut b = *rng.choose(&nodes);
+            while b == a {
+                b = *rng.choose(&nodes);
+            }
+            Demand {
+                id: i as u32,
+                from: a,
+                to: b,
+                odu: match rng.below(3) {
+                    0 => OduRate::Odu0,
+                    1 => OduRate::Odu1,
+                    _ => OduRate::Odu2,
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_grooming(c: &mut Criterion) {
+    let net = PhotonicNetwork::nsfnet(0, LineRate::Gbps10, 0);
+    let mut g = c.benchmark_group("e6_grooming");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [50usize, 200, 1000] {
+        let d = demands(&net, n, 7);
+        g.bench_function(format!("otn_pack_{n}"), |b| {
+            let groomer = OtnGroomer {
+                line_rate: LineRate::Gbps40,
+            };
+            b.iter(|| groomer.pack(&net, &d))
+        });
+        g.bench_function(format!("mxp_pack_{n}"), |b| {
+            let packer = MuxponderPacker {
+                line_rate: LineRate::Gbps40,
+            };
+            b.iter(|| packer.pack(&net, &d))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grooming);
+criterion_main!(benches);

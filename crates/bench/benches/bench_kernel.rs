@@ -1,0 +1,83 @@
+//! Criterion bench for the simulation kernel itself: scheduler
+//! throughput, RNG and histogram costs — the floor under every other
+//! number in this workspace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use simcore::{Histogram, Scheduler, SimDuration, SimRng, SimTime};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1_000usize, 100_000] {
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            b.iter_batched(
+                Scheduler::<u32>::new,
+                |mut s| {
+                    for i in 0..n {
+                        s.schedule_at(SimTime::from_nanos((i as u64 * 7919) % 1_000_000), i as u32);
+                    }
+                    let mut sum = 0u64;
+                    while let Some((_, e)) = s.pop() {
+                        sum += e as u64;
+                    }
+                    sum
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("timer_cancel_churn_10k", |b| {
+        b.iter_batched(
+            Scheduler::<u32>::new,
+            |mut s| {
+                let ids: Vec<_> = (0..10_000u32)
+                    .map(|i| s.schedule_after(SimDuration::from_secs(1 + i as u64), i))
+                    .collect();
+                for id in ids.iter().step_by(2) {
+                    s.cancel(*id);
+                }
+                let mut n = 0;
+                while s.pop().is_some() {
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_rng_and_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("rng_pareto_1m", |b| {
+        b.iter(|| {
+            let mut r = SimRng::new(1);
+            let mut acc = 0.0;
+            for _ in 0..1_000_000 {
+                acc += r.pareto(1.0, 1.3);
+            }
+            acc
+        })
+    });
+    g.bench_function("histogram_record_1m", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            let mut r = SimRng::new(2);
+            for _ in 0..1_000_000 {
+                h.record(r.exp(100.0));
+            }
+            h.quantile(0.99)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_rng_and_metrics);
+criterion_main!(benches);

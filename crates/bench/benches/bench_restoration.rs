@@ -1,0 +1,76 @@
+//! Criterion bench for E2: the cost of processing a failure — alarm
+//! storm handling, fault localization and the restoration pipeline — in
+//! the controller implementation, plus the OTN shared-mesh activation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use griphon::controller::{Controller, ControllerConfig};
+use otn::restoration::{CircuitId, MeshRestoration, ProtectedCircuit};
+use otn::OduRate;
+use photonic::{EmsProfile, EqualizationModel, FiberId, LineRate, PhotonicNetwork};
+use simcore::DataRate;
+
+fn loaded_controller(conns: usize) -> (Controller, FiberId) {
+    let net = PhotonicNetwork::nsfnet(32, LineRate::Gbps10, 4);
+    let seattle = net.roadm_by_name("Seattle").unwrap();
+    let palo = net.roadm_by_name("PaloAlto").unwrap();
+    let fiber = net.fiber_between(seattle, palo).unwrap();
+    let mut ctl = Controller::new(
+        net,
+        ControllerConfig {
+            ems: EmsProfile::calibrated_deterministic(),
+            equalization: EqualizationModel::calibrated_deterministic(),
+            ..ControllerConfig::default()
+        },
+    );
+    let csp = ctl.tenants.register("b", DataRate::from_gbps(4000));
+    for _ in 0..conns {
+        ctl.request_wavelength(csp, seattle, palo, LineRate::Gbps10)
+            .unwrap();
+    }
+    ctl.run_until_idle();
+    (ctl, fiber)
+}
+
+fn bench_restoration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_restoration");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1usize, 8, 24] {
+        g.bench_function(format!("cut_and_restore_{n}_conns"), |b| {
+            b.iter_batched(
+                || loaded_controller(n),
+                |(mut ctl, fiber)| {
+                    ctl.inject_fiber_cut(fiber, 0);
+                    ctl.run_until_idle();
+                    ctl.metrics.counter("fault.restored").get()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("otn_mesh_activation_100_circuits", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MeshRestoration::new();
+                for i in 0..100u32 {
+                    m.protect(ProtectedCircuit {
+                        id: CircuitId::new(i),
+                        odu: OduRate::Odu0,
+                        working: vec![FiberId::new(0), FiberId::new(1 + i % 3)],
+                        backup: vec![FiberId::new(10), FiberId::new(11 + i % 3)],
+                    });
+                }
+                m.dimension_for_single_failures();
+                m
+            },
+            |mut m| m.activate_for_failure(FiberId::new(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_restoration);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the RWA engine: Yen's k-shortest paths, full
+//! wavelength planning (continuity + OT + reach checks) and disjoint-pair
+//! computation on the NSFNET backbone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use griphon::rwa::{disjoint_pair, k_shortest_paths, plan_wavelength, RwaConfig};
+use photonic::{LineRate, PhotonicNetwork};
+
+fn bench_rwa(c: &mut Criterion) {
+    let net = PhotonicNetwork::nsfnet(8, LineRate::Gbps10, 2);
+    let seattle = net.roadm_by_name("Seattle").unwrap();
+    let princeton = net.roadm_by_name("Princeton").unwrap();
+    let cfg = RwaConfig::default();
+
+    let mut g = c.benchmark_group("rwa");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 4, 8] {
+        g.bench_function(format!("yen_k{k}_coast_to_coast"), |b| {
+            b.iter(|| {
+                let paths = k_shortest_paths(&net, seattle, princeton, k);
+                assert!(!paths.is_empty());
+                paths
+            })
+        });
+    }
+    g.bench_function("plan_wavelength_10g", |b| {
+        b.iter(|| plan_wavelength(&net, &cfg, seattle, princeton, LineRate::Gbps10, &[]).unwrap())
+    });
+    g.bench_function("plan_wavelength_40g_with_regens", |b| {
+        let net40 = PhotonicNetwork::nsfnet(8, LineRate::Gbps40, 4);
+        let s = net40.roadm_by_name("Seattle").unwrap();
+        let p = net40.roadm_by_name("Princeton").unwrap();
+        b.iter(|| plan_wavelength(&net40, &cfg, s, p, LineRate::Gbps40, &[]).unwrap())
+    });
+    g.bench_function("disjoint_pair", |b| {
+        b.iter(|| disjoint_pair(&net, seattle, princeton).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rwa);
+criterion_main!(benches);

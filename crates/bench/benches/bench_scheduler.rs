@@ -1,0 +1,77 @@
+//! Criterion bench for E5's policy simulations: a week of bulk
+//! replication under each transfer policy (wall-clock cost of the
+//! tick-driven co-simulation, including the live controller for BoD).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cloud::scheduler::{BodPolicy, StaticLinePolicy, StoreForwardPolicy};
+use cloud::workload::{WorkloadConfig, WorkloadGenerator};
+use cloud::{BulkJob, DataCenterId};
+use griphon::controller::{Controller, ControllerConfig};
+use photonic::{EmsProfile, EqualizationModel, PhotonicNetwork};
+use simcore::{DataRate, DataSize, SimDuration, SimTime};
+
+fn week_of_jobs() -> Vec<BulkJob> {
+    let cfg = WorkloadConfig {
+        bulk_interarrival: SimDuration::from_hours(6),
+        bulk_max: DataSize::from_terabytes(60),
+        ..WorkloadConfig::default()
+    };
+    let mut gen = WorkloadGenerator::new(cfg, 2026);
+    gen.bulk_jobs(
+        DataCenterId::new(0),
+        DataCenterId::new(1),
+        SimDuration::from_hours(24 * 7),
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let horizon = SimDuration::from_hours(24 * 7);
+    let tick = SimDuration::from_secs(60);
+    let jobs = week_of_jobs();
+    let flat = |_: SimTime| DataRate::from_gbps(1);
+
+    let mut g = c.benchmark_group("e5_policies");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("static_line_week", |b| {
+        let p = StaticLinePolicy {
+            line: DataRate::from_gbps(10),
+        };
+        b.iter(|| p.run(jobs.clone(), horizon, tick, &flat))
+    });
+    g.bench_function("store_forward_week", |b| {
+        let p = StoreForwardPolicy {
+            line: DataRate::from_gbps(10),
+            relays: 2,
+            relay_phase_hours: 8.0,
+        };
+        b.iter(|| p.run(jobs.clone(), horizon, tick, &flat))
+    });
+    g.bench_function("bod_week_with_live_controller", |b| {
+        b.iter_batched(
+            || {
+                let (net, ids) = PhotonicNetwork::testbed(10);
+                let mut ctl = Controller::new(
+                    net,
+                    ControllerConfig {
+                        ems: EmsProfile::calibrated_deterministic(),
+                        equalization: EqualizationModel::calibrated_deterministic(),
+                        ..ControllerConfig::default()
+                    },
+                );
+                let csp = ctl.tenants.register("b", DataRate::from_gbps(400));
+                (ctl, ids, csp)
+            },
+            |(mut ctl, ids, csp)| {
+                BodPolicy::default().run(&mut ctl, csp, ids.i, ids.iv, jobs.clone(), horizon, tick)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

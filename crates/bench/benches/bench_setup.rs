@@ -1,0 +1,67 @@
+//! Criterion bench for Table 2 / E1: how fast the *control plane
+//! implementation* executes a full wavelength setup + teardown cycle
+//! (simulated seconds are free; this measures our event loop, RWA and
+//! inventory code).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use griphon::controller::{Controller, ControllerConfig};
+use griphon_bench::experiments::quiet_testbed;
+use photonic::{LineRate, PhotonicNetwork};
+use simcore::DataRate;
+
+fn bench_setup_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    {
+        let hops_label = "testbed_1hop";
+        g.bench_function(format!("setup_teardown/{hops_label}"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut ctl, ids) = quiet_testbed(4);
+                    let csp = ctl.tenants.register("b", DataRate::from_gbps(100));
+                    (ctl, ids, csp)
+                },
+                |(mut ctl, ids, csp)| {
+                    let id = ctl
+                        .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+                        .unwrap();
+                    ctl.run_until_idle();
+                    ctl.request_teardown(id).unwrap();
+                    ctl.run_until_idle();
+                    ctl.events_processed()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_many_connections(c: &mut Criterion) {
+    c.bench_function("table2/fifty_setups_nsfnet", |b| {
+        b.iter_batched(
+            || {
+                let net = PhotonicNetwork::nsfnet(8, LineRate::Gbps10, 2);
+                let mut ctl = Controller::new(net, ControllerConfig::default());
+                let csp = ctl.tenants.register("b", DataRate::from_gbps(4000));
+                (ctl, csp)
+            },
+            |(mut ctl, csp)| {
+                let nodes: Vec<_> = ctl.net.roadm_ids().collect();
+                for i in 0..50usize {
+                    let from = nodes[i % nodes.len()];
+                    let to = nodes[(i + 5) % nodes.len()];
+                    let _ = ctl.request_wavelength(csp, from, to, LineRate::Gbps10);
+                }
+                ctl.run_until_idle();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_setup_cycle, bench_many_connections);
+criterion_main!(benches);

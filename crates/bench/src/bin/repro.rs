@@ -1,0 +1,49 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p griphon-bench --bin repro -- <target>
+//!
+//! targets: table1 table2 fig1 fig2 fig3 fig4
+//!          e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite
+//!          e5-bulk e6-grooming e7-ablation e8-protection e9-planning e10-sla all
+//! ```
+//!
+//! See `EXPERIMENTS.md` for each target's output recorded against the
+//! paper's numbers.
+
+use griphon_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let out = match target {
+        "table1" => exp::table1(),
+        "table2" => exp::table2(),
+        "fig1" => exp::fig_layers(false),
+        "fig2" => exp::fig_layers(true),
+        "fig3" => exp::fig3(),
+        "fig4" => exp::fig4(),
+        "e1-teardown" => exp::e1_teardown(),
+        "e2-restoration" => exp::e2_restoration(),
+        "e2b-parallelism" => exp::e2b_parallelism(),
+        "e3-maintenance" => exp::e3_maintenance(),
+        "e4-composite" => exp::e4_composite(),
+        "e5-bulk" => exp::e5_bulk(),
+        "e5b-full-mesh" => exp::e5b_full_mesh(),
+        "e6-grooming" => exp::e6_grooming(),
+        "e7-ablation" => exp::e7_ablation(),
+        "e8-protection" => exp::e8_protection(),
+        "e9-planning" => exp::e9_planning(),
+        "e10-sla" => exp::e10_sla(),
+        "all" => exp::all(),
+        other => {
+            eprintln!(
+                "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 \
+                 e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite e5-bulk e5b-full-mesh \
+                 e6-grooming e7-ablation e8-protection e9-planning e10-sla all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

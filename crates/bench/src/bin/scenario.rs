@@ -1,0 +1,29 @@
+//! `scenario` — replay a JSON operations scenario against the stack.
+//!
+//! ```sh
+//! cargo run -p griphon-bench --bin scenario -- scenarios/backbone_week.json
+//! ```
+//!
+//! See `griphon_bench::scenario` for the schema and `scenarios/` for
+//! shipped examples.
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: scenario <spec.json>");
+        std::process::exit(2);
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match griphon_bench::scenario::run_json(&json) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("scenario failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

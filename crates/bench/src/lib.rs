@@ -1,0 +1,13 @@
+//! Benchmark and reproduction harness for the GRIPhoN workspace.
+//!
+//! The `repro` binary regenerates every table and figure of the paper
+//! (see `DESIGN.md` §3 for the experiment index); the Criterion benches
+//! measure the *algorithmic* cost of the control plane itself (RWA,
+//! grooming, restoration fan-out) as opposed to the simulated elapsed
+//! times the tables report.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod scenario;
+pub mod table;

@@ -1,0 +1,52 @@
+//! Minimal fixed-width table renderer for harness output.
+
+/// Render rows as a fixed-width text table with a header rule.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_aligned() {
+        let s = super::render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(s.contains("name"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! Replication policies: how data centers decide *what* to transfer.
+//!
+//! §1: CSPs "often replicate the content on a regular basis across
+//! multiple data centers" for performance and for "high availability
+//! under failures", and "a majority of CSPs perform bulk data transfer
+//! among three or more data centers" (Forrester). The workload module
+//! generates generic bulk jobs; this module generates the *structured*
+//! jobs real replication policies produce:
+//!
+//! - [`ReplicationPolicy::PeriodicBackup`] — every site pushes a full
+//!   snapshot to a designated backup site every period.
+//! - [`ReplicationPolicy::GeoRedundant`] — content written at any site
+//!   (a growth-rate model) is replicated to `copies − 1` other sites in
+//!   delta batches, the geo-redundancy pattern of Hamilton's
+//!   inter-datacenter replication note \\[20\\].
+//! - [`ReplicationPolicy::VodPush`] — a content library refresh pushed
+//!   from an origin to every edge site at once (the testbed's
+//!   video-on-demand application).
+
+use serde::{Deserialize, Serialize};
+use simcore::{DataRate, DataSize, SimDuration, SimTime};
+
+use crate::datacenter::{DataCenterId, DataCenterSet};
+use crate::workload::{BulkJob, JobId};
+
+/// A replication behaviour that emits bulk jobs over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplicationPolicy {
+    /// Full snapshot from every site to `target` every `period`.
+    PeriodicBackup {
+        /// The backup site.
+        target: DataCenterId,
+        /// Snapshot period.
+        period: SimDuration,
+        /// Snapshot size per source site.
+        snapshot: DataSize,
+        /// Deadline slack as a multiple of the period (≤1.0 means the
+        /// snapshot must land before the next one starts).
+        deadline_frac: f64,
+    },
+    /// Continuous content growth at `ingest_rate` per site, shipped to
+    /// `copies − 1` other sites in `batch`-sized deltas.
+    GeoRedundant {
+        /// Total replicas of each byte (including the original).
+        copies: usize,
+        /// Per-site ingest rate.
+        ingest_rate: DataRate,
+        /// Delta batch size that triggers a transfer.
+        batch: DataSize,
+    },
+    /// One origin pushes a library refresh of `library` bytes to every
+    /// other site at `at`.
+    VodPush {
+        /// The origin site.
+        origin: DataCenterId,
+        /// Library refresh size.
+        library: DataSize,
+        /// When the push is scheduled.
+        at: SimTime,
+    },
+}
+
+impl ReplicationPolicy {
+    /// Emit this policy's bulk jobs over `[0, horizon)` for the given
+    /// fleet, consuming ids from `next_id`.
+    pub fn jobs(
+        &self,
+        dcs: &DataCenterSet,
+        horizon: SimDuration,
+        next_id: &mut u32,
+    ) -> Vec<BulkJob> {
+        let mut out = Vec::new();
+        let mut fresh = |out: &mut Vec<BulkJob>,
+                         from: DataCenterId,
+                         to: DataCenterId,
+                         size: DataSize,
+                         created: SimTime,
+                         deadline: Option<SimTime>| {
+            let id = JobId::new(*next_id);
+            *next_id += 1;
+            out.push(BulkJob {
+                id,
+                from,
+                to,
+                size,
+                created,
+                deadline,
+            });
+        };
+        match self {
+            ReplicationPolicy::PeriodicBackup {
+                target,
+                period,
+                snapshot,
+                deadline_frac,
+            } => {
+                assert!(!period.is_zero(), "backup period must be positive");
+                let mut t = SimTime::ZERO + *period;
+                while t < SimTime::ZERO + horizon {
+                    for dc in dcs.iter() {
+                        if dc.id != *target {
+                            let deadline = t + period.mul_f64(*deadline_frac);
+                            fresh(&mut out, dc.id, *target, *snapshot, t, Some(deadline));
+                        }
+                    }
+                    t += *period;
+                }
+            }
+            ReplicationPolicy::GeoRedundant {
+                copies,
+                ingest_rate,
+                batch,
+            } => {
+                assert!(*copies >= 2, "geo-redundancy needs ≥ 2 copies");
+                assert!(!batch.is_zero(), "batch must be positive");
+                // A batch fills every `batch / ingest_rate`.
+                let fill = batch.time_at(*ingest_rate);
+                if fill == SimDuration::MAX {
+                    return out;
+                }
+                for dc in dcs.iter() {
+                    let replicas: Vec<DataCenterId> = dcs
+                        .iter()
+                        .filter(|d| d.id != dc.id)
+                        .take(copies - 1)
+                        .map(|d| d.id)
+                        .collect();
+                    let mut t = SimTime::ZERO + fill;
+                    while t < SimTime::ZERO + horizon {
+                        for r in &replicas {
+                            fresh(&mut out, dc.id, *r, *batch, t, None);
+                        }
+                        t += fill;
+                    }
+                }
+            }
+            ReplicationPolicy::VodPush {
+                origin,
+                library,
+                at,
+            } => {
+                if *at < SimTime::ZERO + horizon {
+                    for dc in dcs.iter() {
+                        if dc.id != *origin {
+                            fresh(&mut out, *origin, dc.id, *library, *at, None);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|j| (j.created, j.id));
+        out
+    }
+
+    /// Total bytes this policy moves over the horizon — capacity
+    /// planning input.
+    pub fn bytes_over(&self, dcs: &DataCenterSet, horizon: SimDuration) -> DataSize {
+        let mut next = 0;
+        self.jobs(dcs, horizon, &mut next)
+            .iter()
+            .map(|j| j.size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonic::RoadmId;
+
+    fn fleet(n: usize) -> DataCenterSet {
+        let mut dcs = DataCenterSet::new();
+        for i in 0..n {
+            dcs.add(
+                format!("dc{i}"),
+                RoadmId::new(i as u32),
+                DataRate::from_gbps(40),
+            );
+        }
+        dcs
+    }
+
+    #[test]
+    fn periodic_backup_targets_one_site() {
+        let dcs = fleet(3);
+        let target = DataCenterId::new(2);
+        let policy = ReplicationPolicy::PeriodicBackup {
+            target,
+            period: SimDuration::from_hours(24),
+            snapshot: DataSize::from_terabytes(10),
+            deadline_frac: 0.25,
+        };
+        let mut id = 0;
+        let jobs = policy.jobs(&dcs, SimDuration::from_hours(72), &mut id);
+        // 2 sources × 2 full periods inside the horizon (t=24h, 48h).
+        assert_eq!(jobs.len(), 4);
+        assert!(jobs.iter().all(|j| j.to == target && j.from != target));
+        // Deadlines: 6 h after each snapshot.
+        let first = &jobs[0];
+        assert_eq!(
+            first.deadline,
+            Some(first.created + SimDuration::from_hours(6))
+        );
+    }
+
+    #[test]
+    fn geo_redundancy_fans_out_deltas() {
+        let dcs = fleet(3);
+        let policy = ReplicationPolicy::GeoRedundant {
+            copies: 3,
+            ingest_rate: DataRate::from_gbps(1),
+            batch: DataSize::from_terabytes(1),
+        };
+        // 1 TB at 1 Gbps fills in 8000 s; horizon 24 h → 10 batches/site.
+        let mut id = 0;
+        let jobs = policy.jobs(&dcs, SimDuration::from_hours(24), &mut id);
+        // 3 sites × 10 batches × 2 replicas = 60.
+        assert_eq!(jobs.len(), 60);
+        // Every site replicates to both others.
+        for dc in dcs.iter() {
+            let outgoing: Vec<_> = jobs.iter().filter(|j| j.from == dc.id).collect();
+            let mut targets: Vec<_> = outgoing.iter().map(|j| j.to).collect();
+            targets.sort();
+            targets.dedup();
+            assert_eq!(targets.len(), 2);
+        }
+    }
+
+    #[test]
+    fn vod_push_reaches_every_edge() {
+        let dcs = fleet(4);
+        let origin = DataCenterId::new(0);
+        let policy = ReplicationPolicy::VodPush {
+            origin,
+            library: DataSize::from_terabytes(50),
+            at: SimTime::from_secs(3600),
+        };
+        let mut id = 0;
+        let jobs = policy.jobs(&dcs, SimDuration::from_hours(2), &mut id);
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs.iter().all(|j| j.from == origin));
+        // A push scheduled beyond the horizon emits nothing.
+        let late = ReplicationPolicy::VodPush {
+            origin,
+            library: DataSize::from_terabytes(50),
+            at: SimTime::from_secs(3 * 3600),
+        };
+        assert!(late
+            .jobs(&dcs, SimDuration::from_hours(2), &mut id)
+            .is_empty());
+    }
+
+    #[test]
+    fn bytes_over_sums_jobs() {
+        let dcs = fleet(3);
+        let policy = ReplicationPolicy::PeriodicBackup {
+            target: DataCenterId::new(0),
+            period: SimDuration::from_hours(24),
+            snapshot: DataSize::from_terabytes(10),
+            deadline_frac: 0.5,
+        };
+        // 2 sources × 1 period in 36 h → 20 TB.
+        assert_eq!(
+            policy.bytes_over(&dcs, SimDuration::from_hours(36)),
+            DataSize::from_terabytes(20)
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_across_policies() {
+        let dcs = fleet(3);
+        let mut id = 0;
+        let a = ReplicationPolicy::PeriodicBackup {
+            target: DataCenterId::new(0),
+            period: SimDuration::from_hours(12),
+            snapshot: DataSize::from_terabytes(1),
+            deadline_frac: 1.0,
+        }
+        .jobs(&dcs, SimDuration::from_hours(48), &mut id);
+        let b = ReplicationPolicy::GeoRedundant {
+            copies: 2,
+            ingest_rate: DataRate::from_gbps(2),
+            batch: DataSize::from_terabytes(2),
+        }
+        .jobs(&dcs, SimDuration::from_hours(48), &mut id);
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|j| j.id.raw()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no id reuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "copies")]
+    fn geo_redundancy_requires_two_copies() {
+        let dcs = fleet(2);
+        let mut id = 0;
+        ReplicationPolicy::GeoRedundant {
+            copies: 1,
+            ingest_rate: DataRate::from_gbps(1),
+            batch: DataSize::from_terabytes(1),
+        }
+        .jobs(&dcs, SimDuration::from_hours(1), &mut id);
+    }
+}

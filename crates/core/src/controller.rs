@@ -1,0 +1,984 @@
+//! The GRIPhoN controller.
+//!
+//! §2.2: *"The controller is responsible for keeping track of the
+//! available network resources in its database, communication with the
+//! network elements (FXC controllers, OTN switch EMS, ROADM EMS and NTE
+//! controllers) in order to create or tear down the connections ordered
+//! by the CSPs, capacity and resource management, inventory database
+//! management, failure detection, localization and automated
+//! restorations."*
+//!
+//! This module holds the controller's core: state, the event loop, and
+//! wavelength connection setup/teardown. Fault management lives in
+//! [`crate::fault`], bridge-and-roll and maintenance in
+//! [`crate::maintenance`], OTN trunks and sub-wavelength circuits in
+//! [`crate::otn_service`], and the composite BoD front door in
+//! [`crate::bod`] — all as further `impl Controller` blocks.
+//!
+//! ## Concurrency & time model
+//!
+//! The controller *claims* resources synchronously at admission (its
+//! inventory database is authoritative, so two in-flight orders can never
+//! double-allocate a wavelength or transponder), then simulates the
+//! element-management latency by scheduling a completion event. A
+//! connection carries traffic only once its workflow completes — exactly
+//! the window the paper measures in Table 2.
+//!
+//! Restorations are processed one at a time (a deliberate model of the
+//! per-EMS command serialization the paper observed); see
+//! [`crate::fault`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use simcore::{MetricsRegistry, Scheduler, SimDuration, SimRng, SimTime, TraceLog};
+
+use otn::{OtnSwitch, XcId};
+use photonic::alarm::DetectionModel;
+use photonic::{
+    Alarm, DegreeId, EmsCommand, EmsLatencyModel, EmsProfile, EqualizationModel, FiberId, LineRate,
+    PhotonicNetwork, RoadmId,
+};
+
+use crate::connection::{ConnState, Connection, ConnectionId, ConnectionKind, Resources, TrunkId};
+use crate::rwa::{self, RwaConfig, RwaError, WavelengthPlan};
+use crate::tenant::{AdmissionError, CustomerId, TenantRegistry};
+
+/// Tunables of a controller instance.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Routing/wavelength-assignment parameters.
+    pub rwa: RwaConfig,
+    /// EMS latency profile.
+    pub ems: EmsProfile,
+    /// Equalization timing model.
+    pub equalization: EqualizationModel,
+    /// Alarm detection latencies.
+    pub detection: DetectionModel,
+    /// RNG seed (jitter, workload forks).
+    pub seed: u64,
+    /// Automatically restore failed connections (GRIPhoN behaviour).
+    /// Disable to model "today's reality" manual repair.
+    pub auto_restore: bool,
+    /// Concurrent restoration workflows the EMS plane sustains. The
+    /// paper's testbed serialized commands (1); §4 asks what faster
+    /// control planes buy — raise this to find out (experiment E2b).
+    pub restoration_parallelism: usize,
+    /// Rate remainder (in 1 G units) at or below which composite BoD uses
+    /// OTN circuits instead of another wavelength (§2.2's 12 G example).
+    pub otn_remainder_max_gbps: u64,
+    /// After a repair, automatically migrate restored connections back
+    /// to shorter paths via bridge-and-roll (§2.2: "reversion following
+    /// a failure restoration (moving traffic from backup paths to
+    /// repaired primary)").
+    pub auto_revert: bool,
+    /// Stage wavelength power ramps to suppress add/remove transients
+    /// (§4's "power transient tolerance" requirement). When false, every
+    /// add/remove exposes co-propagating channels and the controller
+    /// records the disturbances.
+    pub staged_power_ramp: bool,
+    /// The transient exposure model used when ramps are not staged.
+    pub transients: photonic::power::TransientModel,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            rwa: RwaConfig::default(),
+            ems: EmsProfile::calibrated(),
+            equalization: EqualizationModel::calibrated(),
+            detection: DetectionModel::default(),
+            seed: 0xC0FFEE,
+            auto_restore: true,
+            restoration_parallelism: 1,
+            auto_revert: true,
+            otn_remainder_max_gbps: 4,
+            staged_power_ramp: true,
+            transients: photonic::power::TransientModel::default(),
+        }
+    }
+}
+
+/// Why a customer order was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Tenant admission failed.
+    Admission(AdmissionError),
+    /// No provisionable path.
+    Rwa(RwaError),
+    /// Unknown connection id.
+    UnknownConnection(ConnectionId),
+    /// The connection is in a state that does not allow the operation.
+    BadState(ConnectionId, ConnState),
+    /// Sub-wavelength service needs OTN switches at both endpoints.
+    NoOtnSwitch(RoadmId),
+    /// No trunk route with enough free tributary slots.
+    NoTrunkCapacity,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Admission(e) => write!(f, "admission: {e}"),
+            RequestError::Rwa(e) => write!(f, "routing: {e}"),
+            RequestError::UnknownConnection(c) => write!(f, "unknown {c}"),
+            RequestError::BadState(c, s) => write!(f, "{c} in state {s:?}"),
+            RequestError::NoOtnSwitch(n) => write!(f, "no OTN switch at {n}"),
+            RequestError::NoTrunkCapacity => write!(f, "no trunk capacity"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<AdmissionError> for RequestError {
+    fn from(e: AdmissionError) -> Self {
+        RequestError::Admission(e)
+    }
+}
+
+impl From<RwaError> for RequestError {
+    fn from(e: RwaError) -> Self {
+        RequestError::Rwa(e)
+    }
+}
+
+/// Workflow completion classes the event loop dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkflowKind {
+    /// Initial provisioning finished → Active.
+    Setup,
+    /// Teardown finished → Released.
+    Teardown,
+    /// Restoration path in service → Active again.
+    Restore,
+    /// Bridge path built (traffic still on the old path).
+    Bridge,
+    /// Traffic rolled to the bridge (the only service hit).
+    Roll,
+    /// 1+1 tail-end selector finished switching legs.
+    ProtectionSwitch,
+}
+
+/// Events flowing through the controller's scheduler.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A provisioning/teardown/restore/bridge/roll workflow completed.
+    WorkflowDone {
+        /// The connection it belongs to.
+        conn: ConnectionId,
+        /// Which workflow.
+        kind: WorkflowKind,
+    },
+    /// An OTN trunk's underlying wavelength is in service.
+    TrunkReady {
+        /// The trunk.
+        trunk: TrunkId,
+    },
+    /// A restored OTN trunk is back in service after a failure.
+    TrunkRestored {
+        /// The trunk.
+        trunk: TrunkId,
+    },
+    /// An alarm surfaced from the network.
+    AlarmDelivered(Alarm),
+    /// A fiber repair crew finished.
+    FiberRepaired {
+        /// The repaired fiber.
+        fiber: FiberId,
+    },
+    /// An advance reservation's lead window opened — provision it.
+    ReservationStart {
+        /// The reservation.
+        reservation: crate::calendar::ReservationId,
+    },
+    /// An advance reservation's service window closed — release it.
+    ReservationEnd {
+        /// The reservation.
+        reservation: crate::calendar::ReservationId,
+    },
+}
+
+/// An OTN trunk: a carrier-internal wavelength between two OTN switches.
+#[derive(Debug, Clone)]
+pub struct Trunk {
+    /// This trunk's id.
+    pub id: TrunkId,
+    /// A-end node.
+    pub a: RoadmId,
+    /// Z-end node.
+    pub b: RoadmId,
+    /// Its wavelength plan on the photonic layer.
+    pub plan: WavelengthPlan,
+    /// Line rate (determines tributary capacity).
+    pub rate: LineRate,
+    /// `(switch index, line port)` at the A end.
+    pub line_a: (usize, otn::LinePortId),
+    /// `(switch index, line port)` at the Z end.
+    pub line_b: (usize, otn::LinePortId),
+    /// In service?
+    pub ready: bool,
+}
+
+/// The GRIPhoN controller (see module docs).
+pub struct Controller {
+    /// The photonic plant under control.
+    pub net: PhotonicNetwork,
+    pub(crate) switches: Vec<OtnSwitch>,
+    pub(crate) switch_at: BTreeMap<RoadmId, usize>,
+    pub(crate) trunks: Vec<Trunk>,
+    /// Tenant table (public for scenario setup).
+    pub tenants: TenantRegistry,
+    pub(crate) cfg: ControllerConfig,
+    pub(crate) ems: EmsLatencyModel,
+    pub(crate) rng: SimRng,
+    pub(crate) sched: Scheduler<Event>,
+    pub(crate) conns: BTreeMap<ConnectionId, Connection>,
+    next_conn: u32,
+    pub(crate) next_trunk: u32,
+    pub(crate) restoration_queue: VecDeque<ConnectionId>,
+    pub(crate) restorations_in_flight: usize,
+    pub(crate) down_fibers: BTreeSet<FiberId>,
+    pub(crate) pending_maintenance: BTreeMap<FiberId, BTreeSet<ConnectionId>>,
+    pub(crate) reservations: Vec<crate::calendar::Reservation>,
+    pub(crate) booking_caps: BTreeMap<(RoadmId, RoadmId), simcore::DataRate>,
+    /// Client-side FXC per PoP (created on first use).
+    fxc_at: BTreeMap<RoadmId, photonic::FxcId>,
+    /// Structured trace of everything the controller did.
+    pub trace: TraceLog,
+    /// Experiment metrics.
+    pub metrics: MetricsRegistry,
+}
+
+impl Controller {
+    /// A controller over `net` with the given configuration.
+    pub fn new(net: PhotonicNetwork, cfg: ControllerConfig) -> Controller {
+        Controller {
+            net,
+            switches: Vec::new(),
+            switch_at: BTreeMap::new(),
+            trunks: Vec::new(),
+            tenants: TenantRegistry::new(),
+            ems: EmsLatencyModel::new(cfg.ems),
+            rng: SimRng::new(cfg.seed),
+            sched: Scheduler::new(),
+            conns: BTreeMap::new(),
+            next_conn: 0,
+            next_trunk: 0,
+            restoration_queue: VecDeque::new(),
+            restorations_in_flight: 0,
+            down_fibers: BTreeSet::new(),
+            pending_maintenance: BTreeMap::new(),
+            reservations: Vec::new(),
+            booking_caps: BTreeMap::new(),
+            fxc_at: BTreeMap::new(),
+            trace: TraceLog::default(),
+            metrics: MetricsRegistry::new(),
+            cfg,
+        }
+    }
+
+    // ── time ────────────────────────────────────────────────────────
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Process one pending event, if any. Returns its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.sched.pop()?;
+        self.handle(ev);
+        Some(t)
+    }
+
+    /// Run the event loop until `deadline` (events at exactly `deadline`
+    /// are processed); the clock ends at `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((_, ev)) = self.sched.pop_until(deadline) {
+            self.handle(ev);
+        }
+        if self.sched.now() < deadline {
+            self.sched.advance_to(deadline);
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run_until_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Total events the controller has processed (throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.sched.events_delivered()
+    }
+
+    // ── lookups ─────────────────────────────────────────────────────
+
+    /// Read a connection.
+    pub fn connection(&self, id: ConnectionId) -> Option<&Connection> {
+        self.conns.get(&id)
+    }
+
+    /// All connections.
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.values()
+    }
+
+    /// Read a trunk.
+    pub fn trunk(&self, id: TrunkId) -> Option<&Trunk> {
+        self.trunks.get(id.index())
+    }
+
+    /// All trunks.
+    pub fn trunks(&self) -> &[Trunk] {
+        &self.trunks
+    }
+
+    /// Read an OTN switch by internal index.
+    pub fn otn_switch(&self, idx: usize) -> &OtnSwitch {
+        &self.switches[idx]
+    }
+
+    /// The OTN switch index at a node, if one is installed.
+    pub fn otn_switch_at(&self, node: RoadmId) -> Option<usize> {
+        self.switch_at.get(&node).copied()
+    }
+
+    /// The controller's EMS latency model (read-only).
+    pub fn ems_profile(&self) -> &EmsProfile {
+        self.ems.profile()
+    }
+
+    /// The configuration this controller runs with.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    // ── wavelength service ──────────────────────────────────────────
+
+    /// Order a full-wavelength connection for `customer`.
+    ///
+    /// On success the connection is `Provisioning`; it becomes `Active`
+    /// when its workflow completes (60–70 s with the calibrated profile).
+    pub fn request_wavelength(
+        &mut self,
+        customer: CustomerId,
+        from: RoadmId,
+        to: RoadmId,
+        rate: LineRate,
+    ) -> Result<ConnectionId, RequestError> {
+        self.tenants.admit(customer, rate.rate())?;
+        let plan = match rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &[]) {
+            Ok(p) => p,
+            Err(e) => {
+                self.tenants.release(customer, rate.rate());
+                return Err(e.into());
+            }
+        };
+        let id = self.fresh_conn_id();
+        let mut conn = Connection::new(
+            id,
+            customer,
+            from,
+            to,
+            ConnectionKind::Wavelength { rate },
+            self.now(),
+        );
+        self.claim_plan(&plan);
+        conn.resources = Some(Resources::Wavelength(plan.clone()));
+        self.conns.insert(id, conn);
+        let (dur, breakdown) = self.wavelength_setup_duration(plan.hops());
+        self.trace.emit(
+            self.now(),
+            "conn",
+            format!(
+                "{id} setup started {}→{} λ{} hops={} eta={dur} [{breakdown}]",
+                self.net.name(from),
+                self.net.name(to),
+                plan.lambda.0,
+                plan.hops()
+            ),
+        );
+        self.sched.schedule_after(
+            dur,
+            Event::WorkflowDone {
+                conn: id,
+                kind: WorkflowKind::Setup,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Order teardown of a connection (any non-terminal state).
+    pub fn request_teardown(&mut self, id: ConnectionId) -> Result<(), RequestError> {
+        let conn = self
+            .conns
+            .get_mut(&id)
+            .ok_or(RequestError::UnknownConnection(id))?;
+        match conn.state {
+            ConnState::Active | ConnState::Provisioning | ConnState::Failed => {
+                conn.outage_end(self.sched.now());
+                conn.transition(ConnState::TearingDown);
+            }
+            s => return Err(RequestError::BadState(id, s)),
+        }
+        let dur = match conn.kind {
+            ConnectionKind::Wavelength { .. } | ConnectionKind::ProtectedWavelength { .. } => {
+                self.wavelength_teardown_duration()
+            }
+            ConnectionKind::SubWavelength { .. } => self.subwavelength_teardown_duration(),
+        };
+        self.trace.emit(
+            self.now(),
+            "conn",
+            format!("{id} teardown started eta={dur}"),
+        );
+        self.sched.schedule_after(
+            dur,
+            Event::WorkflowDone {
+                conn: id,
+                kind: WorkflowKind::Teardown,
+            },
+        );
+        Ok(())
+    }
+
+    // ── workflow durations ──────────────────────────────────────────
+
+    /// Sample the end-to-end wavelength setup duration for an `n`-hop
+    /// path: session → FXC∥FXC → ROADM configs in parallel → OT tunes in
+    /// parallel → validate → equalize. Returns the total and a printable
+    /// per-stage breakdown.
+    pub(crate) fn wavelength_setup_duration(&mut self, hops: usize) -> (SimDuration, String) {
+        let session = self.ems.latency(EmsCommand::SetupSession, &mut self.rng);
+        let fxc = self
+            .ems
+            .latency(EmsCommand::FxcSwitch, &mut self.rng)
+            .max(self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng));
+        let nodes = hops + 1;
+        let roadm = (0..nodes)
+            .map(|_| self.ems.latency(EmsCommand::RoadmConfigure, &mut self.rng))
+            .max()
+            .expect("at least one node");
+        let tune = self
+            .ems
+            .latency(EmsCommand::OtTune, &mut self.rng)
+            .max(self.ems.latency(EmsCommand::OtTune, &mut self.rng));
+        let validate = self.ems.latency(EmsCommand::PathValidate, &mut self.rng);
+        let eq_model = self.cfg.equalization;
+        let equalize = eq_model.duration(hops, &mut self.rng);
+        let total = session + fxc + roadm + tune + validate + equalize;
+        let breakdown = format!(
+            "session={session} fxc={fxc} roadm={roadm} tune={tune} validate={validate} equalize={equalize}"
+        );
+        (total, breakdown)
+    }
+
+    /// Sample the wavelength teardown duration:
+    /// session → (ROADM deconfigs ∥ OT releases) → FXC.
+    pub(crate) fn wavelength_teardown_duration(&mut self) -> SimDuration {
+        let session = self.ems.latency(EmsCommand::TeardownSession, &mut self.rng);
+        let deconf = self
+            .ems
+            .latency(EmsCommand::RoadmDeconfigure, &mut self.rng)
+            .max(self.ems.latency(EmsCommand::OtRelease, &mut self.rng));
+        let fxc = self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng);
+        session + deconf + fxc
+    }
+
+    /// Sub-wavelength (OTN) setup: light session + parallel electronic
+    /// cross-connects.
+    pub(crate) fn subwavelength_setup_duration(&mut self, switches: usize) -> SimDuration {
+        let session = self.ems.latency(EmsCommand::OtnSession, &mut self.rng);
+        let xc = (0..switches.max(1))
+            .map(|_| self.ems.latency(EmsCommand::OtnXconnect, &mut self.rng))
+            .max()
+            .expect("max of non-empty");
+        session + xc
+    }
+
+    /// Sub-wavelength teardown duration.
+    pub(crate) fn subwavelength_teardown_duration(&mut self) -> SimDuration {
+        let session = self.ems.latency(EmsCommand::OtnSession, &mut self.rng);
+        let xc = self
+            .ems
+            .latency(EmsCommand::OtnXconnectRemove, &mut self.rng);
+        session + xc
+    }
+
+    // ── plan claim / release ────────────────────────────────────────
+
+    /// Record §4 power-transient exposure for an add/remove event on
+    /// every fiber of `path`, unless staged ramps suppress it.
+    pub(crate) fn account_transients(&mut self, path: &[FiberId], adding: bool) {
+        if self.cfg.staged_power_ramp {
+            return;
+        }
+        let now = self.now();
+        for f in path {
+            // Survivors: channels already lit on the fiber, excluding the
+            // one being added/removed (on add it is not yet counted; on
+            // remove it still is).
+            let lit = self.net.lit_lambdas_on_fiber(*f);
+            let survivors = if adding { lit } else { lit.saturating_sub(1) };
+            if self.cfg.transients.disturbs(survivors) {
+                self.metrics
+                    .counter("transient.disturbed_channels")
+                    .add(survivors as u64);
+                self.metrics.counter("transient.events").incr();
+                self.trace.emit(
+                    now,
+                    "power",
+                    format!(
+                        "{} on {f}: {:.2} dB transient across {survivors} survivors",
+                        if adding { "add" } else { "remove" },
+                        self.cfg.transients.depth_db(survivors)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Apply a wavelength plan to the inventory: tune OTs, claim regens,
+    /// configure add/drop at the ends and express at intermediates.
+    pub(crate) fn claim_plan(&mut self, plan: &WavelengthPlan) {
+        self.account_transients(&plan.path, true);
+        let from = self.net.transponder(plan.ot_src).location;
+        let to = self.net.transponder(plan.ot_dst).location;
+        self.fxc_patch(from, plan.ot_src);
+        self.fxc_patch(to, plan.ot_dst);
+        self.net
+            .transponder_mut(plan.ot_src)
+            .start_tuning(plan.lambda);
+        self.net
+            .transponder_mut(plan.ot_dst)
+            .start_tuning(plan.lambda);
+        for r in &plan.regens {
+            self.net.regen_mut(*r).claim();
+        }
+        let nodes = self.net.node_sequence(from, &plan.path);
+        // Source add/drop.
+        let (src_node, src_port) = self.net.ot_port(plan.ot_src);
+        debug_assert_eq!(src_node, nodes[0]);
+        let d0 = self.degree_for(nodes[0], plan.path[0]);
+        self.net
+            .roadm_mut(nodes[0])
+            .connect_add_drop(src_port, plan.lambda, d0)
+            .expect("planner verified λ free at source");
+        // Intermediate expresses.
+        #[allow(clippy::needless_range_loop)] // i indexes both nodes and path, offset
+        for i in 1..nodes.len() - 1 {
+            let din = self.degree_for(nodes[i], plan.path[i - 1]);
+            let dout = self.degree_for(nodes[i], plan.path[i]);
+            self.net
+                .roadm_mut(nodes[i])
+                .connect_express(plan.lambda, din, dout)
+                .expect("planner verified λ free at intermediate");
+        }
+        // Destination add/drop.
+        let (dst_node, dst_port) = self.net.ot_port(plan.ot_dst);
+        debug_assert_eq!(dst_node, *nodes.last().unwrap());
+        let dl = self.degree_for(*nodes.last().unwrap(), *plan.path.last().unwrap());
+        self.net
+            .roadm_mut(*nodes.last().unwrap())
+            .connect_add_drop(dst_port, plan.lambda, dl)
+            .expect("planner verified λ free at destination");
+    }
+
+    /// Undo everything [`Self::claim_plan`] did.
+    pub(crate) fn release_plan(&mut self, plan: &WavelengthPlan) {
+        self.account_transients(&plan.path, false);
+        let from = self.net.transponder(plan.ot_src).location;
+        let to = self.net.transponder(plan.ot_dst).location;
+        self.fxc_unpatch(from, plan.ot_src);
+        self.fxc_unpatch(to, plan.ot_dst);
+        let nodes = self.net.node_sequence(from, &plan.path);
+        let (_, src_port) = self.net.ot_port(plan.ot_src);
+        self.net
+            .roadm_mut(nodes[0])
+            .disconnect_add_drop(src_port)
+            .expect("claimed plan must be configured");
+        #[allow(clippy::needless_range_loop)] // i indexes both nodes and path, offset
+        for i in 1..nodes.len() - 1 {
+            let din = self.degree_for(nodes[i], plan.path[i - 1]);
+            let dout = self.degree_for(nodes[i], plan.path[i]);
+            self.net
+                .roadm_mut(nodes[i])
+                .disconnect_express(plan.lambda, din, dout)
+                .expect("claimed plan must be configured");
+        }
+        let (_, dst_port) = self.net.ot_port(plan.ot_dst);
+        self.net
+            .roadm_mut(*nodes.last().unwrap())
+            .disconnect_add_drop(dst_port)
+            .expect("claimed plan must be configured");
+        self.net.transponder_mut(plan.ot_src).release();
+        self.net.transponder_mut(plan.ot_dst).release();
+        for r in &plan.regens {
+            self.net.regen_mut(*r).release();
+        }
+    }
+
+    /// The client-side FXC at a PoP, created on first use.
+    pub fn fxc_at(&mut self, node: RoadmId) -> photonic::FxcId {
+        if let Some(id) = self.fxc_at.get(&node) {
+            return *id;
+        }
+        let id = self.net.add_fxc();
+        self.fxc_at.insert(node, id);
+        id
+    }
+
+    /// Patch a service's access fiber through the node's FXC to an OT's
+    /// client port (§2.2: the FXC steers the customer signal to an OT for
+    /// wavelength service, enabling "dynamic sharing of transponders").
+    pub(crate) fn fxc_patch(&mut self, node: RoadmId, ot: photonic::TransponderId) {
+        let fxc = self.fxc_at(node);
+        let f = self.net.fxc_mut(fxc);
+        let ot_label = format!("ot:{ot}");
+        let ot_port = f
+            .port_by_label(&ot_label)
+            .unwrap_or_else(|| f.add_port(ot_label));
+        // Reuse a previously cabled service position when free, else add
+        // a new patch-panel position.
+        let svc_label = format!("svc:{ot}");
+        let svc_port = f
+            .port_by_label(&svc_label)
+            .filter(|p| f.is_free(*p))
+            .unwrap_or_else(|| f.add_port(svc_label));
+        f.connect(svc_port, ot_port)
+            .expect("service port and pooled OT port are free");
+    }
+
+    /// Undo [`Self::fxc_patch`].
+    pub(crate) fn fxc_unpatch(&mut self, node: RoadmId, ot: photonic::TransponderId) {
+        let fxc = self.fxc_at(node);
+        let f = self.net.fxc_mut(fxc);
+        if let Some(port) = f.port_by_label(&format!("ot:{ot}")) {
+            let _ = f.disconnect(port);
+        }
+    }
+
+    pub(crate) fn degree_for(&self, node: RoadmId, fiber: FiberId) -> DegreeId {
+        self.net
+            .roadm(node)
+            .degree_to(fiber)
+            .expect("path fiber must touch node")
+    }
+
+    pub(crate) fn fresh_conn_id(&mut self) -> ConnectionId {
+        let id = ConnectionId::new(self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    // ── event dispatch ──────────────────────────────────────────────
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::WorkflowDone { conn, kind } => self.on_workflow_done(conn, kind),
+            Event::TrunkReady { trunk } => self.on_trunk_ready(trunk),
+            Event::TrunkRestored { trunk } => self.on_trunk_restored(trunk),
+            Event::AlarmDelivered(alarm) => self.on_alarm(alarm),
+            Event::FiberRepaired { fiber } => self.on_fiber_repaired(fiber),
+            Event::ReservationStart { reservation } => self.on_reservation_start(reservation),
+            Event::ReservationEnd { reservation } => self.on_reservation_end(reservation),
+        }
+    }
+
+    fn on_workflow_done(&mut self, id: ConnectionId, kind: WorkflowKind) {
+        match kind {
+            WorkflowKind::Setup => {
+                let now = self.now();
+                let conn = self.conns.get_mut(&id).expect("setup for unknown conn");
+                // A teardown or failure may have raced the setup; only a
+                // still-provisioning connection activates.
+                if conn.state != ConnState::Provisioning {
+                    return;
+                }
+                conn.transition(ConnState::Active);
+                conn.activated_at = Some(now);
+                let setup_secs = now.saturating_since(conn.requested_at).as_secs_f64();
+                let to_tune: Vec<photonic::TransponderId> = match &conn.resources {
+                    Some(Resources::Wavelength(plan)) => vec![plan.ot_src, plan.ot_dst],
+                    Some(Resources::Protected {
+                        working, protect, ..
+                    }) => vec![
+                        working.ot_src,
+                        working.ot_dst,
+                        protect.ot_src,
+                        protect.ot_dst,
+                    ],
+                    _ => Vec::new(),
+                };
+                for ot in to_tune {
+                    self.net.transponder_mut(ot).tuning_complete();
+                }
+                self.metrics.histogram("setup.secs").record(setup_secs);
+                self.metrics.counter("setup.completed").incr();
+                self.trace
+                    .emit(now, "conn", format!("{id} active after {setup_secs:.2}s"));
+            }
+            WorkflowKind::Teardown => {
+                let now = self.now();
+                let conn = self.conns.get_mut(&id).expect("teardown for unknown conn");
+                if conn.state != ConnState::TearingDown {
+                    return;
+                }
+                conn.transition(ConnState::Released);
+                let rate = conn.kind.rate();
+                let customer = conn.customer;
+                let resources = conn.resources.take();
+                match resources {
+                    Some(Resources::Wavelength(plan)) => self.release_plan(&plan),
+                    Some(Resources::SubWavelength(route)) => self.release_subwavelength(&route),
+                    Some(Resources::Protected {
+                        working, protect, ..
+                    }) => {
+                        self.release_plan(&working);
+                        self.release_plan(&protect);
+                    }
+                    None => {}
+                }
+                self.tenants.release(customer, rate);
+                self.metrics.counter("teardown.completed").incr();
+                self.trace.emit(now, "conn", format!("{id} released"));
+            }
+            WorkflowKind::Restore => self.on_restore_done(id),
+            WorkflowKind::Bridge => self.on_bridge_done(id),
+            WorkflowKind::Roll => self.on_roll_done(id),
+            WorkflowKind::ProtectionSwitch => self.on_protection_switch(id),
+        }
+    }
+
+    /// Release the cross-connects of a sub-wavelength route.
+    pub(crate) fn release_subwavelength(&mut self, route: &crate::connection::SubWavelengthRoute) {
+        for (sw, xc) in &route.xcs {
+            // The xc may already be gone if its trunk was torn down.
+            let _ = self.switches[*sw].disconnect(*xc);
+        }
+    }
+
+    /// Internal: used by otn_service teardown paths.
+    pub(crate) fn switch_disconnect(&mut self, sw: usize, xc: XcId) {
+        let _ = self.switches[sw].disconnect(xc);
+    }
+
+    /// `(total, in use)` regen counts — inventory reporting.
+    pub fn regen_stats(&self) -> (usize, usize) {
+        let total = self.net.regen_count();
+        let used = self
+            .net
+            .regen_ids()
+            .filter(|r| self.net.regen(*r).in_use)
+            .count();
+        (total, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonic::Wavelength;
+
+    fn testbed_controller(jitter: bool) -> (Controller, photonic::TestbedIds, CustomerId) {
+        let (net, ids) = PhotonicNetwork::testbed(4);
+        let mut cfg = ControllerConfig::default();
+        if !jitter {
+            cfg.ems = EmsProfile::calibrated_deterministic();
+            cfg.equalization = EqualizationModel::calibrated_deterministic();
+        }
+        let mut ctl = Controller::new(net, cfg);
+        let csp = ctl
+            .tenants
+            .register("acme-cloud", simcore::DataRate::from_gbps(100));
+        (ctl, ids, csp)
+    }
+
+    #[test]
+    fn one_hop_setup_matches_table2_row1() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        assert_eq!(ctl.connection(id).unwrap().state, ConnState::Provisioning);
+        ctl.run_until_idle();
+        let conn = ctl.connection(id).unwrap();
+        assert_eq!(conn.state, ConnState::Active);
+        let elapsed = conn
+            .activated_at
+            .unwrap()
+            .since(conn.requested_at)
+            .as_secs_f64();
+        assert!((elapsed - 62.48).abs() < 0.01, "elapsed={elapsed}");
+    }
+
+    #[test]
+    fn setup_claims_and_activates_resources() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        // λ0 occupied on the direct fiber during provisioning.
+        assert!(!ctl.net.lambda_free_on_fiber(ids.f_i_iv, Wavelength(0)));
+        ctl.run_until_idle();
+        let plan = ctl
+            .connection(id)
+            .unwrap()
+            .wavelength_plan()
+            .unwrap()
+            .clone();
+        assert_eq!(
+            ctl.net.transponder(plan.ot_src).wavelength(),
+            Some(Wavelength(0))
+        );
+    }
+
+    #[test]
+    fn teardown_frees_everything() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let t_active = ctl.now();
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        let conn = ctl.connection(id).unwrap();
+        assert_eq!(conn.state, ConnState::Released);
+        assert!(conn.resources.is_none());
+        assert!(ctl.net.lambda_free_on_fiber(ids.f_i_iv, Wavelength(0)));
+        assert_eq!(ctl.net.idle_ots_at(ids.i, LineRate::Gbps10).len(), 4);
+        assert_eq!(
+            ctl.tenants.get(csp).unwrap().in_use,
+            simcore::DataRate::ZERO
+        );
+        // Teardown ≈ 9–10 s per the paper.
+        let teardown = ctl.now().since(t_active).as_secs_f64();
+        assert!((8.0..=11.0).contains(&teardown), "teardown={teardown}");
+    }
+
+    #[test]
+    fn concurrent_requests_get_different_lambdas() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let a = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        let b = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let la = ctl.connection(a).unwrap().wavelength_plan().unwrap().lambda;
+        let lb = ctl.connection(b).unwrap().wavelength_plan().unwrap().lambda;
+        assert_ne!(la, lb, "no double-allocation under concurrent setup");
+    }
+
+    #[test]
+    fn quota_admission_blocks_and_releases_nothing() {
+        let (mut ctl, ids, _) = testbed_controller(false);
+        let small = ctl
+            .tenants
+            .register("small-fry", simcore::DataRate::from_gbps(5));
+        let err = ctl
+            .request_wavelength(small, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Admission(_)));
+        assert_eq!(
+            ctl.tenants.get(small).unwrap().in_use,
+            simcore::DataRate::ZERO
+        );
+        assert_eq!(ctl.net.idle_ots_at(ids.i, LineRate::Gbps10).len(), 4);
+    }
+
+    #[test]
+    fn rwa_failure_refunds_quota() {
+        let (net, ids) = PhotonicNetwork::testbed(0); // no OTs anywhere
+        let mut ctl = Controller::new(net, ControllerConfig::default());
+        let csp = ctl
+            .tenants
+            .register("acme", simcore::DataRate::from_gbps(100));
+        let err = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Rwa(_)));
+        assert_eq!(
+            ctl.tenants.get(csp).unwrap().in_use,
+            simcore::DataRate::ZERO
+        );
+    }
+
+    #[test]
+    fn teardown_during_provisioning_wins() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        // Tear down 10 s in, long before setup completes.
+        ctl.run_until(SimTime::from_secs(10));
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        let conn = ctl.connection(id).unwrap();
+        assert_eq!(conn.state, ConnState::Released);
+        assert!(ctl.net.lambda_free_on_fiber(ids.f_i_iv, Wavelength(0)));
+        // OT pool restored (release() from Tuning is legal).
+        assert_eq!(ctl.net.idle_ots_at(ids.i, LineRate::Gbps10).len(), 4);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let (mut ctl, _, _) = testbed_controller(false);
+        ctl.run_until(SimTime::from_secs(100));
+        assert_eq!(ctl.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn fxc_patches_follow_connection_lifecycle() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let ot = ctl
+            .connection(id)
+            .unwrap()
+            .wavelength_plan()
+            .unwrap()
+            .ot_src;
+        let fxc = ctl.fxc_at(ids.i);
+        let f = ctl.net.fxc(fxc);
+        let ot_port = f.port_by_label(&format!("ot:{ot}")).unwrap();
+        assert!(f.peer(ot_port).is_some(), "OT patched through the FXC");
+        assert_eq!(f.connections(), 1);
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        let f = ctl.net.fxc(fxc);
+        let ot_port = f.port_by_label(&format!("ot:{ot}")).unwrap();
+        assert!(f.peer(ot_port).is_none(), "unpatched at teardown");
+        // Re-ordering reuses the same panel positions (no port leak).
+        let before = f.port_count();
+        let id2 = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        ctl.request_teardown(id2).unwrap();
+        ctl.run_until_idle();
+        assert_eq!(ctl.net.fxc(fxc).port_count(), before);
+    }
+
+    #[test]
+    fn metrics_record_setups() {
+        let (mut ctl, ids, csp) = testbed_controller(true);
+        for _ in 0..3 {
+            let id = ctl
+                .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+                .unwrap();
+            ctl.run_until_idle();
+            ctl.request_teardown(id).unwrap();
+            ctl.run_until_idle();
+        }
+        assert_eq!(ctl.metrics.counter("setup.completed").get(), 3);
+        let h = ctl.metrics.get_histogram("setup.secs").unwrap();
+        assert_eq!(h.count(), 3);
+        assert!((55.0..75.0).contains(&h.mean()), "mean={}", h.mean());
+    }
+}

@@ -1,0 +1,262 @@
+//! The carrier's service/layer models — Figures 1 and 2 of the paper.
+//!
+//! Fig. 1 shows today's stack (W-DCS over SONET over DWDM over fiber)
+//! and which service category each layer carries; Fig. 2 the future
+//! stack where an OTN layer replaces SONET/W-DCS as the sub-wavelength
+//! server and private-line BoD moves down to OTN and DWDM. This module
+//! encodes both as data — a machine-checkable version of the figures —
+//! and the `fig1`/`fig2` harness targets render and validate them.
+//!
+//! The key assumption of the service-evolution model (§2.1) is encoded in
+//! [`LayerStack::layer_for_service`]: guaranteed-bandwidth transport is
+//! categorized by rate — below 1 G rides the IP layer as EVCs, 1 G up to
+//! the wavelength rate rides the sub-wavelength layer, and
+//! wavelength-rate private lines ride DWDM directly.
+
+use serde::{Deserialize, Serialize};
+use simcore::DataRate;
+use std::fmt;
+
+/// A technology layer of the transport network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fiber-optic cables — "huge capital investment … very static".
+    Fiber,
+    /// Dense wavelength-division multiplexing (ROADMs, OTs).
+    Dwdm,
+    /// SONET Broadband DCS / ADM rings (today only).
+    Sonet,
+    /// Wideband DCS (DS1-level grooming, today only).
+    Wdcs,
+    /// OTN switches at ODU0 granularity (future).
+    Otn,
+    /// IP/MPLS routers carrying Ethernet virtual circuits.
+    Ip,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layer::Fiber => "Fiber",
+            Layer::Dwdm => "DWDM",
+            Layer::Sonet => "SONET",
+            Layer::Wdcs => "W-DCS",
+            Layer::Otn => "OTN",
+            Layer::Ip => "IP/MPLS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A customer-visible service category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceCategory {
+    /// nxDS1 TDM private lines (1.5 Mbps granularity).
+    NxDs1PrivateLine,
+    /// STS-n SONET private lines.
+    StsPrivateLine,
+    /// Ethernet virtual circuits with guaranteed bandwidth.
+    EthernetVirtualCircuit,
+    /// Ethernet private lines (1 G to sub-wavelength).
+    EthernetPrivateLine,
+    /// Wavelength-rate private lines (10–100 G).
+    WavelengthPrivateLine,
+}
+
+impl fmt::Display for ServiceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServiceCategory::NxDs1PrivateLine => "n×DS1 private line",
+            ServiceCategory::StsPrivateLine => "STS-n private line",
+            ServiceCategory::EthernetVirtualCircuit => "Ethernet virtual circuit",
+            ServiceCategory::EthernetPrivateLine => "Ethernet private line",
+            ServiceCategory::WavelengthPrivateLine => "wavelength private line",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One layer stack (Fig. 1 or Fig. 2): layers bottom-up plus the
+/// service→layer mapping and BoD availability per layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerStack {
+    /// Display name.
+    pub name: &'static str,
+    /// Layers from the fiber base upward.
+    pub layers: Vec<Layer>,
+    /// `(service, serving layer)` pairs.
+    pub services: Vec<(ServiceCategory, Layer)>,
+    /// Layers at which BoD is offered.
+    pub bod_layers: Vec<Layer>,
+}
+
+impl LayerStack {
+    /// Fig. 1 — today's services and network layers.
+    pub fn current() -> LayerStack {
+        LayerStack {
+            name: "current (Fig. 1)",
+            layers: vec![
+                Layer::Fiber,
+                Layer::Dwdm,
+                Layer::Sonet,
+                Layer::Wdcs,
+                Layer::Ip,
+            ],
+            services: vec![
+                (ServiceCategory::NxDs1PrivateLine, Layer::Wdcs),
+                (ServiceCategory::StsPrivateLine, Layer::Sonet),
+                (ServiceCategory::EthernetPrivateLine, Layer::Sonet),
+                (ServiceCategory::EthernetVirtualCircuit, Layer::Ip),
+                (ServiceCategory::WavelengthPrivateLine, Layer::Dwdm),
+            ],
+            // "the carrier offers BoD only at the SONET layer, not at the
+            // DWDM layer."
+            bod_layers: vec![Layer::Sonet],
+        }
+    }
+
+    /// Fig. 2 — the future (GRIPhoN) services and network layers.
+    pub fn future() -> LayerStack {
+        LayerStack {
+            name: "future (Fig. 2)",
+            layers: vec![Layer::Fiber, Layer::Dwdm, Layer::Otn, Layer::Ip],
+            services: vec![
+                (ServiceCategory::EthernetVirtualCircuit, Layer::Ip),
+                (ServiceCategory::EthernetPrivateLine, Layer::Otn),
+                (ServiceCategory::WavelengthPrivateLine, Layer::Dwdm),
+            ],
+            // "BoD at high data rates would be offered at the OTN layer
+            // as well as the DWDM layer."
+            bod_layers: vec![Layer::Otn, Layer::Dwdm],
+        }
+    }
+
+    /// §2.1's rate-based categorization: which layer transports a
+    /// guaranteed-bandwidth demand of `rate` in this stack.
+    pub fn layer_for_service(&self, rate: DataRate) -> Layer {
+        let one_g = DataRate::from_gbps(1);
+        let wavelength = DataRate::from_gbps(10);
+        if rate < one_g {
+            Layer::Ip
+        } else if rate < wavelength {
+            // The sub-wavelength layer of this stack.
+            if self.layers.contains(&Layer::Otn) {
+                Layer::Otn
+            } else {
+                Layer::Sonet
+            }
+        } else {
+            Layer::Dwdm
+        }
+    }
+
+    /// Does every mapped service point at a layer that exists in the
+    /// stack, and is every BoD layer present? (The figures' internal
+    /// consistency, machine-checked.)
+    pub fn validate(&self) -> Result<(), String> {
+        for (svc, layer) in &self.services {
+            if !self.layers.contains(layer) {
+                return Err(format!("{svc} maps to missing layer {layer}"));
+            }
+        }
+        for l in &self.bod_layers {
+            if !self.layers.contains(l) {
+                return Err(format!("BoD offered at missing layer {l}"));
+            }
+        }
+        if self.layers.first() != Some(&Layer::Fiber) {
+            return Err("stack must rest on fiber".into());
+        }
+        Ok(())
+    }
+
+    /// Render the stack as an ASCII figure.
+    pub fn render(&self) -> String {
+        let mut out = format!("── {} ──\n", self.name);
+        for layer in self.layers.iter().rev() {
+            let served: Vec<String> = self
+                .services
+                .iter()
+                .filter(|(_, l)| l == layer)
+                .map(|(s, _)| s.to_string())
+                .collect();
+            let bod = if self.bod_layers.contains(layer) {
+                "  [BoD]"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  {:<8}{}{}\n",
+                layer.to_string(),
+                if served.is_empty() {
+                    String::new()
+                } else {
+                    format!("← {}", served.join(", "))
+                },
+                bod
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_figures_validate() {
+        LayerStack::current().validate().unwrap();
+        LayerStack::future().validate().unwrap();
+    }
+
+    #[test]
+    fn future_drops_sonet_for_otn() {
+        let now = LayerStack::current();
+        let fut = LayerStack::future();
+        assert!(now.layers.contains(&Layer::Sonet));
+        assert!(!fut.layers.contains(&Layer::Sonet));
+        assert!(fut.layers.contains(&Layer::Otn));
+    }
+
+    #[test]
+    fn bod_moves_down_the_stack() {
+        let now = LayerStack::current();
+        let fut = LayerStack::future();
+        assert!(!now.bod_layers.contains(&Layer::Dwdm), "today: no DWDM BoD");
+        assert!(fut.bod_layers.contains(&Layer::Dwdm), "GRIPhoN: DWDM BoD");
+        assert!(fut.bod_layers.contains(&Layer::Otn));
+    }
+
+    #[test]
+    fn rate_categorization_matches_section_21() {
+        let fut = LayerStack::future();
+        assert_eq!(fut.layer_for_service(DataRate::from_mbps(500)), Layer::Ip);
+        assert_eq!(fut.layer_for_service(DataRate::from_gbps(1)), Layer::Otn);
+        assert_eq!(fut.layer_for_service(DataRate::from_gbps(9)), Layer::Otn);
+        assert_eq!(fut.layer_for_service(DataRate::from_gbps(10)), Layer::Dwdm);
+        assert_eq!(fut.layer_for_service(DataRate::from_gbps(40)), Layer::Dwdm);
+        // Today the sub-wavelength layer is SONET.
+        let now = LayerStack::current();
+        assert_eq!(now.layer_for_service(DataRate::from_gbps(2)), Layer::Sonet);
+    }
+
+    #[test]
+    fn render_mentions_all_layers_and_bod() {
+        let s = LayerStack::future().render();
+        for l in ["DWDM", "OTN", "IP/MPLS", "Fiber"] {
+            assert!(s.contains(l), "{s}");
+        }
+        assert!(s.contains("[BoD]"));
+    }
+
+    #[test]
+    fn broken_stack_fails_validation() {
+        let mut s = LayerStack::future();
+        s.layers.retain(|l| *l != Layer::Otn);
+        assert!(s.validate().is_err());
+        let mut s2 = LayerStack::future();
+        s2.layers.remove(0);
+        assert!(s2.validate().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Network resource planning.
+//!
+//! §4: *"In order to support rapid connection provisioning and faster
+//! restorations, the carrier must plan ahead, where and when to deploy
+//! the spare resources (especially OTs) … they need to forecast demand
+//! and carefully manage the pool of GRIPhoN resources … in this network
+//! the number of users is smaller and the cost of a line is far greater,
+//! making accurate planning far more critical"* (than POTS trunk
+//! engineering).
+//!
+//! Three planning tools, deliberately in the POTS tradition the paper
+//! invokes but at wavelength granularity:
+//!
+//! - [`erlang_b`] — blocking probability of a pool of `n` transponders
+//!   offered `a` erlangs (recursive form, numerically stable).
+//! - [`servers_for_blocking`] — smallest pool meeting a blocking target.
+//! - [`SparePlanner`] — distribute a budget of spare OTs over nodes,
+//!   greedily assigning each next spare where it reduces weighted
+//!   blocking the most.
+//! - [`forecast_linear`] — least-squares trend extrapolation of a demand
+//!   history, for the "double or triple in the next two to four years"
+//!   projections the paper cites from Forrester.
+
+/// Erlang-B blocking probability: `a` erlangs offered to `n` servers.
+///
+/// Uses the stable recurrence `B(0) = 1`,
+/// `B(k) = a·B(k−1) / (k + a·B(k−1))`.
+///
+/// ```
+/// let b = griphon::planning::erlang_b(3.0, 5);
+/// assert!((b - 0.1101).abs() < 5e-4); // classic table value
+/// ```
+pub fn erlang_b(a: f64, n: usize) -> f64 {
+    assert!(a >= 0.0, "offered load must be non-negative");
+    if a == 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0;
+    for k in 1..=n {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Smallest server count with blocking ≤ `target` for `a` erlangs.
+/// Returns `None` if even `max` servers are not enough.
+pub fn servers_for_blocking(a: f64, target: f64, max: usize) -> Option<usize> {
+    (0..=max).find(|n| erlang_b(a, *n) <= target)
+}
+
+/// Demand at one node: offered erlangs of OT usage and a weight (how
+/// much the carrier cares — e.g. revenue at the PoP).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeDemand {
+    /// Offered load (mean simultaneous OTs requested).
+    pub erlangs: f64,
+    /// Relative importance.
+    pub weight: f64,
+}
+
+/// Greedy spare-transponder placement.
+#[derive(Debug, Clone)]
+pub struct SparePlanner {
+    /// Per-node forecast demand.
+    pub demands: Vec<NodeDemand>,
+}
+
+impl SparePlanner {
+    /// Place `budget` spare OTs on top of `base` per-node pools,
+    /// assigning each next spare to the node where it most reduces
+    /// `weight × blocking`. Returns the per-node totals.
+    pub fn place(&self, base: &[usize], budget: usize) -> Vec<usize> {
+        assert_eq!(
+            base.len(),
+            self.demands.len(),
+            "pool/demand length mismatch"
+        );
+        let mut pools = base.to_vec();
+        for _ in 0..budget {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, d) in self.demands.iter().enumerate() {
+                let now = erlang_b(d.erlangs, pools[i]) * d.weight;
+                let then = erlang_b(d.erlangs, pools[i] + 1) * d.weight;
+                let gain = now - then;
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+            let (i, _) = best.expect("non-empty demand set");
+            pools[i] += 1;
+        }
+        pools
+    }
+
+    /// Weighted total blocking of a placement.
+    pub fn weighted_blocking(&self, pools: &[usize]) -> f64 {
+        self.demands
+            .iter()
+            .zip(pools)
+            .map(|(d, n)| d.weight * erlang_b(d.erlangs, *n))
+            .sum()
+    }
+}
+
+/// Least-squares linear trend: fit `y = a + b·t` to the history (t = 0,
+/// 1, …) and extrapolate `horizon` further steps. Clamped at zero.
+pub fn forecast_linear(history: &[f64], horizon: usize) -> Vec<f64> {
+    assert!(history.len() >= 2, "need at least two observations");
+    let n = history.len() as f64;
+    let t_mean = (n - 1.0) / 2.0;
+    let y_mean = history.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, y) in history.iter().enumerate() {
+        num += (t as f64 - t_mean) * (y - y_mean);
+        den += (t as f64 - t_mean).powi(2);
+    }
+    let b = if den == 0.0 { 0.0 } else { num / den };
+    let a = y_mean - b * t_mean;
+    (history.len()..history.len() + horizon)
+        .map(|t| (a + b * t as f64).max(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic table values: a=3 erlangs, n=5 → B ≈ 0.1101.
+        assert!((erlang_b(3.0, 5) - 0.1101).abs() < 5e-4);
+        // a=10, n=10 → B ≈ 0.2146.
+        assert!((erlang_b(10.0, 10) - 0.2146).abs() < 5e-4);
+        // Degenerate cases.
+        assert_eq!(erlang_b(0.0, 5), 0.0);
+        assert_eq!(erlang_b(4.0, 0), 1.0);
+    }
+
+    #[test]
+    fn erlang_b_monotone_in_servers() {
+        for n in 0..20 {
+            assert!(erlang_b(5.0, n + 1) < erlang_b(5.0, n));
+        }
+    }
+
+    #[test]
+    fn servers_for_blocking_finds_minimum() {
+        let n = servers_for_blocking(3.0, 0.01, 100).unwrap();
+        assert!(erlang_b(3.0, n) <= 0.01);
+        assert!(erlang_b(3.0, n - 1) > 0.01);
+        // Unreachable target.
+        assert_eq!(servers_for_blocking(50.0, 1e-9, 3), None);
+    }
+
+    #[test]
+    fn greedy_placement_prefers_loaded_weighted_nodes() {
+        let planner = SparePlanner {
+            demands: vec![
+                NodeDemand {
+                    erlangs: 8.0,
+                    weight: 1.0,
+                },
+                NodeDemand {
+                    erlangs: 1.0,
+                    weight: 1.0,
+                },
+            ],
+        };
+        let pools = planner.place(&[2, 2], 6);
+        assert_eq!(pools.iter().sum::<usize>(), 10);
+        assert!(pools[0] > pools[1], "hot node gets the spares: {pools:?}");
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_case() {
+        let planner = SparePlanner {
+            demands: vec![
+                NodeDemand {
+                    erlangs: 4.0,
+                    weight: 2.0,
+                },
+                NodeDemand {
+                    erlangs: 2.0,
+                    weight: 1.0,
+                },
+            ],
+        };
+        let budget = 5;
+        let greedy = planner.place(&[1, 1], budget);
+        let g_cost = planner.weighted_blocking(&greedy);
+        // Exhaustive split of the budget.
+        let mut best = f64::INFINITY;
+        for k in 0..=budget {
+            let pools = vec![1 + k, 1 + budget - k];
+            best = best.min(planner.weighted_blocking(&pools));
+        }
+        assert!(
+            (g_cost - best).abs() < 1e-9,
+            "greedy {g_cost} vs optimal {best}"
+        );
+    }
+
+    #[test]
+    fn forecast_extends_trend() {
+        // Paper motivation: demand doubling over the horizon.
+        let history = [10.0, 12.0, 14.0, 16.0];
+        let f = forecast_linear(&history, 3);
+        assert_eq!(f.len(), 3);
+        assert!((f[0] - 18.0).abs() < 1e-9);
+        assert!((f[2] - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forecast_clamps_at_zero_and_handles_flat() {
+        let f = forecast_linear(&[10.0, 5.0, 0.0], 4);
+        assert!(f.iter().all(|y| *y >= 0.0));
+        let flat = forecast_linear(&[7.0, 7.0, 7.0], 2);
+        assert!((flat[0] - 7.0).abs() < 1e-9);
+        assert!((flat[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two observations")]
+    fn forecast_needs_history() {
+        forecast_linear(&[1.0], 1);
+    }
+}

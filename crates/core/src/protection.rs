@@ -1,0 +1,609 @@
+//! 1+1 dedicated protection.
+//!
+//! §1 item 3: today a full-wavelength customer who cannot tolerate long
+//! outages "buy\\[s\\] expensive 1+1 protection where if a primary connection
+//! fails, traffic is re-routed to a backup". This module implements that
+//! service class so experiment E2 can *measure* the comparison GRIPhoN is
+//! making instead of quoting it:
+//!
+//! - both legs (link-disjoint by construction) are claimed for the
+//!   connection's whole life — the "expensive" part: 2× transponders and
+//!   wavelength·links per circuit;
+//! - the head-end bridges traffic onto both legs, so a failure on the
+//!   active leg only needs the tail-end selector to flip: a fixed ~50 ms
+//!   switchover, no signalling, no EMS workflow;
+//! - a standby-leg failure is hitless (degraded redundancy, trace only);
+//! - if *both* legs are down, the circuit is hard-failed until a repair
+//!   returns either leg, at which point service resumes immediately.
+//!
+//! The switchover constant lives in [`ProtectionTiming`].
+
+use simcore::SimDuration;
+
+use photonic::{FiberId, LineRate, RoadmId};
+
+use crate::connection::{ConnState, Connection, ConnectionId, ConnectionKind, Resources};
+use crate::controller::{Controller, Event, RequestError, WorkflowKind};
+use crate::rwa::{self, WavelengthPlan};
+use crate::tenant::CustomerId;
+
+/// Timing of the 1+1 selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtectionTiming {
+    /// Tail-end selector switch time after loss of the active leg
+    /// (SONET-class APS budget: 50 ms).
+    pub switchover: SimDuration,
+}
+
+impl Default for ProtectionTiming {
+    fn default() -> Self {
+        ProtectionTiming {
+            switchover: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl Controller {
+    /// Order a 1+1-protected wavelength. Claims *two* disjoint plans;
+    /// fails with [`RequestError::Rwa`] if no disjoint pair with
+    /// resources exists. Activation takes one setup workflow (both legs
+    /// are provisioned in parallel; total time is the max, dominated by
+    /// the longer leg's equalization).
+    pub fn request_protected_wavelength(
+        &mut self,
+        customer: CustomerId,
+        from: RoadmId,
+        to: RoadmId,
+        rate: LineRate,
+    ) -> Result<ConnectionId, RequestError> {
+        self.tenants.admit(customer, rate.rate())?;
+        let result = self.plan_protected_pair(from, to, rate);
+        let (working, protect) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.tenants.release(customer, rate.rate());
+                return Err(e);
+            }
+        };
+        let id = self.fresh_conn_id();
+        let mut conn = Connection::new(
+            id,
+            customer,
+            from,
+            to,
+            ConnectionKind::ProtectedWavelength { rate },
+            self.now(),
+        );
+        let longer = working.hops().max(protect.hops());
+        self.claim_plan(&working);
+        self.claim_plan(&protect);
+        conn.resources = Some(Resources::Protected {
+            working,
+            protect,
+            on_protect: false,
+        });
+        self.conns.insert(id, conn);
+        let (dur, _) = self.wavelength_setup_duration(longer);
+        self.trace.emit(
+            self.now(),
+            "conn",
+            format!(
+                "{id} 1+1 setup started {}→{} eta={dur}",
+                self.net.name(from),
+                self.net.name(to)
+            ),
+        );
+        self.sched.schedule_after(
+            dur,
+            Event::WorkflowDone {
+                conn: id,
+                kind: WorkflowKind::Setup,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Find a disjoint working/protect pair with full resource checks on
+    /// both legs. The protect plan is computed *after* a hypothetical
+    /// claim of the working plan would... — in practice the two plans
+    /// must not share fibers, wavelength-on-fiber, OTs or regens; we
+    /// achieve this by planning the working leg, then planning the
+    /// protect leg with the working fibers excluded and verifying the
+    /// endpoint OT pools are deep enough for both.
+    fn plan_protected_pair(
+        &self,
+        from: RoadmId,
+        to: RoadmId,
+        rate: LineRate,
+    ) -> Result<(WavelengthPlan, WavelengthPlan), RequestError> {
+        let working = rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &[])?;
+        let mut protect =
+            rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &working.path)?;
+        // Distinct endpoint OTs for the second leg.
+        let src_pool = self.net.idle_ots_at(from, rate);
+        let dst_pool = self.net.idle_ots_at(to, rate);
+        let src2 = src_pool.iter().find(|t| **t != working.ot_src);
+        let dst2 = dst_pool.iter().find(|t| **t != working.ot_dst);
+        match (src2, dst2) {
+            (Some(s), Some(d)) => {
+                protect.ot_src = *s;
+                protect.ot_dst = *d;
+            }
+            _ => {
+                return Err(RequestError::Rwa(rwa::RwaError::Blocked { candidates: 2 }));
+            }
+        }
+        // Distinct regens (pools are per-node; the planner may have
+        // picked overlapping ones if both legs regen at a shared node —
+        // disjoint paths share no intermediate fibers but can share
+        // nodes).
+        for r in &mut protect.regens {
+            if working.regens.contains(r) {
+                let node = self.net.regen(*r).location;
+                let pool = self.net.free_regens_at(node, rate);
+                match pool
+                    .into_iter()
+                    .find(|cand| !working.regens.contains(cand) && cand != r)
+                {
+                    Some(alt) => *r = alt,
+                    None => {
+                        return Err(RequestError::Rwa(rwa::RwaError::Blocked { candidates: 2 }))
+                    }
+                }
+            }
+        }
+        Ok((working, protect))
+    }
+
+    /// Is every fiber of a plan's path in service?
+    pub(crate) fn leg_up(&self, plan: &WavelengthPlan) -> bool {
+        plan.path.iter().all(|f| self.net.fiber(*f).is_up())
+    }
+
+    /// React to a fiber cut for protected connections: called from the
+    /// cut injector. Returns the ids it handled so the generic path
+    /// skips them.
+    pub(crate) fn protection_react_to_cut(&mut self, fiber: FiberId) -> Vec<ConnectionId> {
+        let now = self.now();
+        let timing = ProtectionTiming::default();
+        let mut handled = Vec::new();
+        let ids: Vec<ConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.state == ConnState::Active
+                    && matches!(c.resources, Some(Resources::Protected { .. }))
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in ids {
+            let (active_hit, standby_up) = {
+                let c = self.conns.get(&id).expect("conn exists");
+                let Some(Resources::Protected {
+                    working,
+                    protect,
+                    on_protect,
+                }) = &c.resources
+                else {
+                    unreachable!("filtered above")
+                };
+                let (active, standby) = if *on_protect {
+                    (protect, working)
+                } else {
+                    (working, protect)
+                };
+                let active_hit = active.path.contains(&fiber);
+                let standby_hit = standby.path.contains(&fiber);
+                if !active_hit && !standby_hit {
+                    continue;
+                }
+                if !active_hit && standby_hit {
+                    // Hitless: redundancy lost, service unaffected.
+                    self.trace.emit(
+                        now,
+                        "prot",
+                        format!("{id} standby leg hit — redundancy degraded"),
+                    );
+                    self.metrics.counter("protection.degraded").incr();
+                    handled.push(id);
+                    continue;
+                }
+                (
+                    active_hit,
+                    self.leg_up(standby) && !standby.path.contains(&fiber),
+                )
+            };
+            if !active_hit {
+                continue;
+            }
+            handled.push(id);
+            let c = self.conns.get_mut(&id).expect("conn exists");
+            c.transition(ConnState::Failed);
+            c.outage_start(now);
+            if standby_up {
+                self.trace
+                    .emit(now, "prot", format!("{id} active leg hit — APS switchover"));
+                self.sched.schedule_after(
+                    timing.switchover,
+                    Event::WorkflowDone {
+                        conn: id,
+                        kind: WorkflowKind::ProtectionSwitch,
+                    },
+                );
+            } else {
+                self.trace.emit(
+                    now,
+                    "prot",
+                    format!("{id} BOTH legs down — hard failure, awaiting repair"),
+                );
+                self.metrics.counter("protection.dual_failures").incr();
+            }
+        }
+        handled
+    }
+
+    pub(crate) fn on_protection_switch(&mut self, id: ConnectionId) {
+        let now = self.now();
+        // The standby may itself have died while the selector was
+        // switching (a dual failure racing the 50 ms window).
+        let target_up = {
+            let Some(conn) = self.conns.get(&id) else {
+                return;
+            };
+            if conn.state != ConnState::Failed {
+                return; // torn down while switching
+            }
+            let Some(Resources::Protected {
+                working,
+                protect,
+                on_protect,
+            }) = &conn.resources
+            else {
+                return;
+            };
+            let target = if *on_protect { working } else { protect };
+            self.leg_up(target)
+        };
+        if !target_up {
+            self.metrics.counter("protection.dual_failures").incr();
+            self.trace.emit(
+                now,
+                "prot",
+                format!("{id} switch target also down — hard failure"),
+            );
+            return;
+        }
+        let conn = self.conns.get_mut(&id).expect("checked above");
+        let Some(Resources::Protected { on_protect, .. }) = &mut conn.resources else {
+            return;
+        };
+        *on_protect = !*on_protect;
+        conn.transition(ConnState::Active);
+        conn.outage_end(now);
+        let outage = conn.outage_total;
+        self.metrics
+            .histogram("protection.switch_ms")
+            .record(outage.as_secs_f64() * 1e3);
+        self.trace
+            .emit(now, "prot", format!("{id} switched legs, outage {outage}"));
+    }
+
+    /// An OT hardware failure on a protected circuit: active-leg OT
+    /// failure triggers the selector; standby-leg OT failure degrades
+    /// redundancy only. Returns true if the failure belonged to a
+    /// protected circuit.
+    pub(crate) fn protection_react_to_ot_failure(&mut self, ot: photonic::TransponderId) -> bool {
+        let now = self.now();
+        let timing = ProtectionTiming::default();
+        let hit: Option<(ConnectionId, bool)> = self.conns.values().find_map(|c| {
+            if c.state != ConnState::Active {
+                return None;
+            }
+            let Some(Resources::Protected {
+                working,
+                protect,
+                on_protect,
+            }) = &c.resources
+            else {
+                return None;
+            };
+            let (active, standby) = if *on_protect {
+                (protect, working)
+            } else {
+                (working, protect)
+            };
+            if active.ot_src == ot || active.ot_dst == ot {
+                Some((c.id, true))
+            } else if standby.ot_src == ot || standby.ot_dst == ot {
+                Some((c.id, false))
+            } else {
+                None
+            }
+        });
+        let Some((id, on_active)) = hit else {
+            return false;
+        };
+        if on_active {
+            let c = self.conns.get_mut(&id).expect("conn exists");
+            c.transition(ConnState::Failed);
+            c.outage_start(now);
+            self.trace
+                .emit(now, "prot", format!("{id} active-leg OT died — APS"));
+            self.sched.schedule_after(
+                timing.switchover,
+                Event::WorkflowDone {
+                    conn: id,
+                    kind: WorkflowKind::ProtectionSwitch,
+                },
+            );
+        } else {
+            self.metrics.counter("protection.degraded").incr();
+            self.trace
+                .emit(now, "prot", format!("{id} standby-leg OT died — degraded"));
+        }
+        true
+    }
+
+    /// A repair may resurrect hard-failed protected circuits: resume on
+    /// whichever leg is whole. Called from the repair handler.
+    pub(crate) fn protection_react_to_repair(&mut self) {
+        let now = self.now();
+        let ids: Vec<ConnectionId> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.state == ConnState::Failed
+                    && matches!(c.resources, Some(Resources::Protected { .. }))
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in ids {
+            let usable: Option<bool> = {
+                let c = self.conns.get(&id).expect("conn exists");
+                let Some(Resources::Protected {
+                    working, protect, ..
+                }) = &c.resources
+                else {
+                    continue;
+                };
+                if self.leg_up(working) {
+                    Some(false) // resume on working
+                } else if self.leg_up(protect) {
+                    Some(true) // resume on protect
+                } else {
+                    None
+                }
+            };
+            if let Some(on_protect_now) = usable {
+                let c = self.conns.get_mut(&id).expect("conn exists");
+                if let Some(Resources::Protected { on_protect, .. }) = &mut c.resources {
+                    *on_protect = on_protect_now;
+                }
+                c.transition(ConnState::Active);
+                c.outage_end(now);
+                self.trace
+                    .emit(now, "prot", format!("{id} resumed after repair"));
+            }
+        }
+    }
+
+    /// Both legs' wavelength·link and transponder footprint — what "1+1
+    /// is expensive" means, measurable for the cost comparison.
+    pub fn protection_footprint(&self, id: ConnectionId) -> Option<(usize, usize)> {
+        let c = self.conns.get(&id)?;
+        match &c.resources {
+            Some(Resources::Protected {
+                working, protect, ..
+            }) => Some((
+                working.hops() + protect.hops(),
+                4 + 2 * (working.regens.len() + protect.regens.len()),
+            )),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use photonic::{EmsProfile, EqualizationModel, PhotonicNetwork, Wavelength};
+    use simcore::DataRate;
+
+    fn quiet() -> ControllerConfig {
+        ControllerConfig {
+            ems: EmsProfile::calibrated_deterministic(),
+            equalization: EqualizationModel::calibrated_deterministic(),
+            ..ControllerConfig::default()
+        }
+    }
+
+    fn protected_testbed() -> (Controller, photonic::TestbedIds, ConnectionId) {
+        let (net, ids) = PhotonicNetwork::testbed(4);
+        let mut ctl = Controller::new(net, quiet());
+        let csp = ctl.tenants.register("bank", DataRate::from_gbps(100));
+        let id = ctl
+            .request_protected_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        assert_eq!(ctl.connection(id).unwrap().state, ConnState::Active);
+        (ctl, ids, id)
+    }
+
+    #[test]
+    fn claims_two_disjoint_legs() {
+        let (ctl, ids, id) = protected_testbed();
+        let c = ctl.connection(id).unwrap();
+        let Some(Resources::Protected {
+            working,
+            protect,
+            on_protect,
+        }) = &c.resources
+        else {
+            panic!("wrong resources")
+        };
+        assert!(!on_protect);
+        assert!(working.path.iter().all(|f| !protect.path.contains(f)));
+        assert_ne!(working.ot_src, protect.ot_src);
+        assert_ne!(working.ot_dst, protect.ot_dst);
+        // Both paths physically configured: λ0 busy on both routes.
+        assert!(!ctl.net.lambda_free_on_fiber(ids.f_i_iv, Wavelength(0)));
+        assert_eq!(ctl.net.idle_ots_at(ids.i, LineRate::Gbps10).len(), 2);
+        // Footprint: 1-hop + 2-hop legs, 4 OTs.
+        assert_eq!(ctl.protection_footprint(id), Some((3, 4)));
+    }
+
+    #[test]
+    fn switchover_is_fifty_ms() {
+        let (mut ctl, ids, id) = protected_testbed();
+        ctl.inject_fiber_cut(ids.f_i_iv, 0); // the working leg
+        ctl.run_until_idle();
+        let c = ctl.connection(id).unwrap();
+        assert_eq!(c.state, ConnState::Active);
+        let Some(Resources::Protected { on_protect, .. }) = &c.resources else {
+            panic!()
+        };
+        assert!(on_protect, "traffic must be on the protect leg");
+        let outage = c.outage_total.as_secs_f64();
+        assert!((outage - 0.05).abs() < 1e-6, "outage={outage}s");
+        // No λ-restoration workflow ran for it.
+        assert_eq!(ctl.metrics.counter("fault.restored").get(), 0);
+    }
+
+    #[test]
+    fn standby_hit_is_hitless() {
+        let (mut ctl, _ids, id) = protected_testbed();
+        // The protect leg is the 2-hop I–III–IV detour; cut one of its
+        // fibers.
+        let protect_fiber = {
+            let c = ctl.connection(id).unwrap();
+            let Some(Resources::Protected { protect, .. }) = &c.resources else {
+                panic!()
+            };
+            protect.path[0]
+        };
+        ctl.inject_fiber_cut(protect_fiber, 0);
+        ctl.run_until_idle();
+        let c = ctl.connection(id).unwrap();
+        assert_eq!(c.state, ConnState::Active);
+        assert_eq!(c.outage_total, SimDuration::ZERO);
+        assert_eq!(ctl.metrics.counter("protection.degraded").get(), 1);
+    }
+
+    #[test]
+    fn dual_failure_waits_for_repair() {
+        let (mut ctl, ids, id) = protected_testbed();
+        let protect_fiber = {
+            let c = ctl.connection(id).unwrap();
+            let Some(Resources::Protected { protect, .. }) = &c.resources else {
+                panic!()
+            };
+            protect.path[0]
+        };
+        ctl.inject_fiber_cut(ids.f_i_iv, 0);
+        ctl.inject_fiber_cut(protect_fiber, 0);
+        ctl.schedule_repair(ids.f_i_iv, SimDuration::from_hours(2));
+        ctl.run_until_idle();
+        let c = ctl.connection(id).unwrap();
+        assert_eq!(c.state, ConnState::Active, "resumed after repair");
+        let outage = c.outage_total.as_secs_f64();
+        // Dominated by the 2 h repair (the switchover happened first but
+        // the second cut re-failed it… depending on order the total is
+        // ≈2 h minus the first 50 ms window).
+        assert!(outage > 3_000.0, "outage={outage}");
+        assert!(ctl.metrics.counter("protection.dual_failures").get() >= 1);
+    }
+
+    #[test]
+    fn active_leg_ot_failure_switches_in_50ms() {
+        let (mut ctl, _ids, id) = protected_testbed();
+        let active_ot = {
+            let c = ctl.connection(id).unwrap();
+            let Some(Resources::Protected { working, .. }) = &c.resources else {
+                panic!()
+            };
+            working.ot_src
+        };
+        ctl.inject_ot_failure(active_ot);
+        ctl.run_until_idle();
+        let c = ctl.connection(id).unwrap();
+        assert_eq!(c.state, ConnState::Active);
+        let Some(Resources::Protected { on_protect, .. }) = &c.resources else {
+            panic!()
+        };
+        assert!(on_protect);
+        assert!((c.outage_total.as_secs_f64() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standby_leg_ot_failure_is_hitless() {
+        let (mut ctl, _ids, id) = protected_testbed();
+        let standby_ot = {
+            let c = ctl.connection(id).unwrap();
+            let Some(Resources::Protected { protect, .. }) = &c.resources else {
+                panic!()
+            };
+            protect.ot_dst
+        };
+        ctl.inject_ot_failure(standby_ot);
+        ctl.run_until_idle();
+        let c = ctl.connection(id).unwrap();
+        assert_eq!(c.state, ConnState::Active);
+        assert_eq!(c.outage_total, SimDuration::ZERO);
+        assert_eq!(ctl.metrics.counter("protection.degraded").get(), 1);
+    }
+
+    #[test]
+    fn teardown_releases_both_legs() {
+        let (mut ctl, ids, id) = protected_testbed();
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        assert_eq!(ctl.connection(id).unwrap().state, ConnState::Released);
+        assert_eq!(ctl.net.idle_ots_at(ids.i, LineRate::Gbps10).len(), 4);
+        assert_eq!(ctl.net.idle_ots_at(ids.iv, LineRate::Gbps10).len(), 4);
+        assert!(ctl.net.lambda_free_on_fiber(ids.f_i_iv, Wavelength(0)));
+    }
+
+    #[test]
+    fn no_disjoint_pair_refused_cleanly() {
+        // Two nodes, single fiber: no 1+1 possible.
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        net.link(a, b, 50.0).unwrap();
+        net.add_transponders(a, LineRate::Gbps10, 4).unwrap();
+        net.add_transponders(b, LineRate::Gbps10, 4).unwrap();
+        let mut ctl = Controller::new(net, quiet());
+        let csp = ctl.tenants.register("bank", DataRate::from_gbps(100));
+        let err = ctl
+            .request_protected_wavelength(csp, a, b, LineRate::Gbps10)
+            .unwrap_err();
+        assert!(matches!(err, RequestError::Rwa(_)));
+        assert_eq!(ctl.tenants.get(csp).unwrap().in_use, DataRate::ZERO);
+        assert_eq!(ctl.net.idle_ots_at(a, LineRate::Gbps10).len(), 4);
+    }
+
+    #[test]
+    fn unprotected_neighbors_still_restore_normally() {
+        let (net, ids) = PhotonicNetwork::testbed(6);
+        let mut ctl = Controller::new(net, quiet());
+        let csp = ctl.tenants.register("bank", DataRate::from_gbps(100));
+        let prot = ctl
+            .request_protected_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        let plain = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        ctl.inject_fiber_cut(ids.f_i_iv, 0);
+        ctl.run_until_idle();
+        let p = ctl.connection(prot).unwrap();
+        let u = ctl.connection(plain).unwrap();
+        assert_eq!(p.state, ConnState::Active);
+        assert_eq!(u.state, ConnState::Active);
+        // The 1+1 circuit's outage is milliseconds; the restored one's a
+        // minute-plus — the paper's cost/speed trade, measured.
+        assert!(p.outage_total < SimDuration::from_millis(100));
+        assert!(u.outage_total > SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,471 @@
+//! Routing and wavelength assignment (RWA).
+//!
+//! The controller's path-selection engine:
+//!
+//! - **Routing** — Yen's k-shortest-paths over the up-fiber graph,
+//!   weighted by route kilometres (carrier practice: distance ≈ latency ≈
+//!   cost). Candidates are examined in order until one passes wavelength,
+//!   transponder, reach and regen checks, so the controller naturally
+//!   prefers short paths but degrades gracefully under contention.
+//! - **Wavelength assignment** — first-fit with the continuity
+//!   constraint: one wavelength free on *every* fiber of the path.
+//!   (First-fit is the classic low-blocking heuristic; the ROADM layer's
+//!   conflict detection guarantees safety regardless.)
+//! - **Reach** — paths whose transparent length exceeds the rate's reach
+//!   budget get regens inserted at intermediate nodes, consuming from the
+//!   per-node regen pools ([`photonic::ReachModel`] decides where).
+//!   Regens here are same-wavelength 3R devices: wavelength conversion is
+//!   *not* modelled, so continuity holds end-to-end.
+//! - **Disjoint paths** — for 1+1 protection, bridge-and-roll and
+//!   shared-mesh backup planning, a link-disjoint second path is found by
+//!   pruning the first path's fibers and re-routing.
+
+use photonic::{
+    FiberId, LineRate, PhotonicNetwork, ReachModel, RegenId, RoadmId, TransponderId, Wavelength,
+};
+
+/// A fully resolved wavelength-connection plan, ready to provision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthPlan {
+    /// End-to-end fiber sequence.
+    pub path: Vec<FiberId>,
+    /// The assigned wavelength (continuity holds end-to-end).
+    pub lambda: Wavelength,
+    /// Transponder at the source node.
+    pub ot_src: TransponderId,
+    /// Transponder at the destination node.
+    pub ot_dst: TransponderId,
+    /// Regens claimed at intermediate nodes (reach extension).
+    pub regens: Vec<RegenId>,
+}
+
+impl WavelengthPlan {
+    /// Number of hops (fibers) in the path.
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Why no plan could be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RwaError {
+    /// No route exists between the endpoints over up fibers.
+    NoRoute,
+    /// Routes exist, but none passed wavelength + OT + regen checks.
+    /// Carries the number of candidate paths examined.
+    Blocked {
+        /// Candidates that were examined and rejected.
+        candidates: usize,
+    },
+}
+
+impl std::fmt::Display for RwaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RwaError::NoRoute => write!(f, "no route"),
+            RwaError::Blocked { candidates } => {
+                write!(f, "blocked after {candidates} candidate paths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RwaError {}
+
+/// Dijkstra by km over up fibers, with an exclusion set.
+/// Returns the fiber sequence.
+fn shortest_path_km(
+    net: &PhotonicNetwork,
+    from: RoadmId,
+    to: RoadmId,
+    excluded_fibers: &[FiberId],
+    excluded_nodes: &[RoadmId],
+) -> Option<Vec<FiberId>> {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+
+    // f64 km as integer metres for Ord.
+    let mut dist: HashMap<RoadmId, u64> = HashMap::new();
+    let mut prev: HashMap<RoadmId, (RoadmId, FiberId)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(Reverse((0u64, from)));
+    while let Some(Reverse((d, n))) = heap.pop() {
+        if n == to {
+            break;
+        }
+        if dist.get(&n).copied().unwrap_or(u64::MAX) < d {
+            continue;
+        }
+        for (fid, m) in net.neighbors(n) {
+            if !net.fiber(fid).is_up()
+                || excluded_fibers.contains(&fid)
+                || excluded_nodes.contains(&m)
+            {
+                continue;
+            }
+            let nd = d + (net.fiber(fid).length_km() * 1000.0) as u64;
+            if nd < dist.get(&m).copied().unwrap_or(u64::MAX) {
+                dist.insert(m, nd);
+                prev.insert(m, (n, fid));
+                heap.push(Reverse((nd, m)));
+            }
+        }
+    }
+    if !prev.contains_key(&to) && from != to {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, f) = prev[&cur];
+        path.push(f);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths by km.
+pub fn k_shortest_paths(
+    net: &PhotonicNetwork,
+    from: RoadmId,
+    to: RoadmId,
+    k: usize,
+) -> Vec<Vec<FiberId>> {
+    let mut result: Vec<Vec<FiberId>> = Vec::new();
+    let Some(first) = shortest_path_km(net, from, to, &[], &[]) else {
+        return result;
+    };
+    result.push(first);
+    let mut candidates: Vec<Vec<FiberId>> = Vec::new();
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        let last_nodes = net.node_sequence(from, &last);
+        for spur_idx in 0..last.len() {
+            let spur_node = last_nodes[spur_idx];
+            let root: Vec<FiberId> = last[..spur_idx].to_vec();
+            // Exclude fibers that would repeat a known path with this root.
+            let mut excluded_fibers: Vec<FiberId> = Vec::new();
+            for p in result.iter().chain(candidates.iter()) {
+                if p.len() > spur_idx && p[..spur_idx] == root[..] {
+                    excluded_fibers.push(p[spur_idx]);
+                }
+            }
+            // Exclude root nodes to keep paths loop-free.
+            let excluded_nodes: Vec<RoadmId> = last_nodes[..spur_idx].to_vec();
+            if let Some(spur) =
+                shortest_path_km(net, spur_node, to, &excluded_fibers, &excluded_nodes)
+            {
+                let mut total = root;
+                total.extend(spur);
+                if !result.contains(&total) && !candidates.contains(&total) {
+                    candidates.push(total);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Shortest candidate next (by km, then hop count for determinism).
+        candidates.sort_by(|a, b| {
+            let ka = net.path_km(a);
+            let kb = net.path_km(b);
+            ka.partial_cmp(&kb).unwrap().then(a.len().cmp(&b.len()))
+        });
+        result.push(candidates.remove(0));
+    }
+    result
+}
+
+/// Configuration of the RWA engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RwaConfig {
+    /// How many candidate paths Yen's search produces.
+    pub k_paths: usize,
+    /// The reach model used for regen insertion.
+    pub reach: ReachModel,
+}
+
+impl Default for RwaConfig {
+    fn default() -> Self {
+        RwaConfig {
+            k_paths: 4,
+            reach: ReachModel::default(),
+        }
+    }
+}
+
+/// Produce a provisionable plan for a wavelength connection of `rate`
+/// between `from` and `to`, avoiding `excluded` fibers (used by
+/// restoration and bridge-and-roll to force disjointness).
+///
+/// Resources are only *identified*, not claimed — claiming is the
+/// controller's job, under its admission lock.
+pub fn plan_wavelength(
+    net: &PhotonicNetwork,
+    cfg: &RwaConfig,
+    from: RoadmId,
+    to: RoadmId,
+    rate: LineRate,
+    excluded: &[FiberId],
+) -> Result<WavelengthPlan, RwaError> {
+    let mut candidates = if excluded.is_empty() {
+        k_shortest_paths(net, from, to, cfg.k_paths)
+    } else {
+        // Route around exclusions: prune then search.
+        match shortest_path_km(net, from, to, excluded, &[]) {
+            Some(p) => vec![p],
+            None => Vec::new(),
+        }
+    };
+    // Also consider a pruned-graph alternative for each candidate set.
+    candidates.retain(|p| !p.is_empty());
+    if candidates.is_empty() {
+        return Err(RwaError::NoRoute);
+    }
+    let mut examined = 0;
+    for path in &candidates {
+        examined += 1;
+        // Wavelength continuity.
+        let Some(lambda) = net.first_free_lambda(path) else {
+            continue;
+        };
+        // Transponders at both ends.
+        let src_pool = net.idle_ots_at(from, rate);
+        let dst_pool = net.idle_ots_at(to, rate);
+        let (Some(ot_src), Some(ot_dst)) = (src_pool.first(), dst_pool.first()) else {
+            continue;
+        };
+        // Reach: insert regens where needed, if the pools allow.
+        let hop_km = net.hop_lengths(path);
+        let Some(points) = cfg.reach.regen_points(rate, &hop_km) else {
+            continue;
+        };
+        let nodes = net.node_sequence(from, path);
+        let mut regens = Vec::new();
+        let mut ok = true;
+        let mut used_at_node: std::collections::HashMap<RoadmId, usize> =
+            std::collections::HashMap::new();
+        for p in &points {
+            let node = nodes[p + 1];
+            let pool = net.free_regens_at(node, rate);
+            let used = used_at_node.entry(node).or_insert(0);
+            if *used < pool.len() {
+                regens.push(pool[*used]);
+                *used += 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        return Ok(WavelengthPlan {
+            path: path.clone(),
+            lambda,
+            ot_src: *ot_src,
+            ot_dst: *ot_dst,
+            regens,
+        });
+    }
+    Err(RwaError::Blocked {
+        candidates: examined,
+    })
+}
+
+/// Find a link-disjoint pair of paths (working, protect) between two
+/// nodes, or `None` if the topology cannot supply one.
+pub fn disjoint_pair(
+    net: &PhotonicNetwork,
+    from: RoadmId,
+    to: RoadmId,
+) -> Option<(Vec<FiberId>, Vec<FiberId>)> {
+    let working = shortest_path_km(net, from, to, &[], &[])?;
+    let protect = shortest_path_km(net, from, to, &working, &[])?;
+    Some((working, protect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonic::PhotonicNetwork;
+
+    #[test]
+    fn yen_orders_testbed_paths_by_length() {
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let paths = k_shortest_paths(&net, ids.i, ids.iv, 3);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0], vec![ids.f_i_iv]); // 80 km
+        assert_eq!(paths[1].len(), 2); // I–III–IV, 160 km
+        assert_eq!(paths[2].len(), 3); // I–II–III–IV, 240 km
+        assert_eq!(
+            net.node_sequence(ids.i, &paths[2]),
+            vec![ids.i, ids.ii, ids.iii, ids.iv]
+        );
+    }
+
+    #[test]
+    fn yen_respects_km_not_hop_count() {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        let c = net.add_roadm("c");
+        // Direct but long vs two short hops.
+        net.link(a, b, 1000.0).unwrap();
+        net.link(a, c, 100.0).unwrap();
+        net.link(c, b, 100.0).unwrap();
+        let paths = k_shortest_paths(&net, a, b, 2);
+        assert_eq!(paths[0].len(), 2, "two short hops beat one long");
+        assert_eq!(paths[1].len(), 1);
+    }
+
+    #[test]
+    fn plan_prefers_direct_route_and_first_fit() {
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let plan = plan_wavelength(
+            &net,
+            &RwaConfig::default(),
+            ids.i,
+            ids.iv,
+            LineRate::Gbps10,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(plan.path, vec![ids.f_i_iv]);
+        assert_eq!(plan.lambda, Wavelength(0));
+        assert!(plan.regens.is_empty());
+        assert_eq!(plan.hops(), 1);
+        assert_eq!(net.transponder(plan.ot_src).location, ids.i);
+        assert_eq!(net.transponder(plan.ot_dst).location, ids.iv);
+    }
+
+    #[test]
+    fn plan_detours_around_exclusions() {
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let plan = plan_wavelength(
+            &net,
+            &RwaConfig::default(),
+            ids.i,
+            ids.iv,
+            LineRate::Gbps10,
+            &[ids.f_i_iv],
+        )
+        .unwrap();
+        assert_eq!(plan.path.len(), 2);
+        assert!(!plan.path.contains(&ids.f_i_iv));
+    }
+
+    #[test]
+    fn plan_fails_without_ots() {
+        let (net, ids) = PhotonicNetwork::testbed(0);
+        let err = plan_wavelength(
+            &net,
+            &RwaConfig::default(),
+            ids.i,
+            ids.iv,
+            LineRate::Gbps10,
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RwaError::Blocked { .. }));
+    }
+
+    #[test]
+    fn plan_no_route_when_disconnected() {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        net.add_transponders(a, LineRate::Gbps10, 1).unwrap();
+        net.add_transponders(b, LineRate::Gbps10, 1).unwrap();
+        assert_eq!(
+            plan_wavelength(&net, &RwaConfig::default(), a, b, LineRate::Gbps10, &[]),
+            Err(RwaError::NoRoute)
+        );
+    }
+
+    #[test]
+    fn regens_inserted_on_long_paths() {
+        // NSFNET Seattle→Princeton at 40G must regenerate.
+        let net = PhotonicNetwork::nsfnet(4, LineRate::Gbps40, 4);
+        let from = net.roadm_by_name("Seattle").unwrap();
+        let to = net.roadm_by_name("Princeton").unwrap();
+        let plan =
+            plan_wavelength(&net, &RwaConfig::default(), from, to, LineRate::Gbps40, &[]).unwrap();
+        assert!(
+            !plan.regens.is_empty(),
+            "a coast-to-coast 40G path needs regens"
+        );
+        // Every claimed regen is at an intermediate node of the path.
+        let nodes = net.node_sequence(from, &plan.path);
+        for r in &plan.regens {
+            let loc = net.regen(*r).location;
+            assert!(nodes[1..nodes.len() - 1].contains(&loc));
+        }
+    }
+
+    #[test]
+    fn plan_blocked_without_regens() {
+        let net = PhotonicNetwork::nsfnet(4, LineRate::Gbps40, 0);
+        let from = net.roadm_by_name("Seattle").unwrap();
+        let to = net.roadm_by_name("Princeton").unwrap();
+        // With k_paths=1 the only candidate needs regens and has none.
+        let cfg = RwaConfig {
+            k_paths: 1,
+            ..RwaConfig::default()
+        };
+        assert!(matches!(
+            plan_wavelength(&net, &cfg, from, to, LineRate::Gbps40, &[]),
+            Err(RwaError::Blocked { .. })
+        ));
+    }
+
+    #[test]
+    fn disjoint_pair_on_testbed() {
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let (w, p) = disjoint_pair(&net, ids.i, ids.iv).unwrap();
+        assert!(w.iter().all(|f| !p.contains(f)));
+        assert_eq!(w, vec![ids.f_i_iv]);
+    }
+
+    #[test]
+    fn disjoint_pair_none_on_tree() {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        net.link(a, b, 10.0).unwrap();
+        assert!(disjoint_pair(&net, a, b).is_none());
+    }
+
+    #[test]
+    fn exhausted_lambdas_block() {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_40);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        let f = net.link(a, b, 10.0).unwrap();
+        net.add_transponders(a, LineRate::Gbps10, 2).unwrap();
+        net.add_transponders(b, LineRate::Gbps10, 2).unwrap();
+        // Fill all 40 channels on the single fiber.
+        let da = net.roadm(a).degree_to(f).unwrap();
+        let db = net.roadm(b).degree_to(f).unwrap();
+        for w in 0..40 {
+            let pa = net.roadm_mut(a).add_port();
+            net.roadm_mut(a)
+                .attach_transponder(pa, TransponderId::new(1000 + w as u32));
+            net.roadm_mut(a)
+                .connect_add_drop(pa, Wavelength(w), da)
+                .unwrap();
+            let pb = net.roadm_mut(b).add_port();
+            net.roadm_mut(b)
+                .attach_transponder(pb, TransponderId::new(2000 + w as u32));
+            net.roadm_mut(b)
+                .connect_add_drop(pb, Wavelength(w), db)
+                .unwrap();
+        }
+        assert!(matches!(
+            plan_wavelength(&net, &RwaConfig::default(), a, b, LineRate::Gbps10, &[]),
+            Err(RwaError::Blocked { .. })
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Sub-wavelength grooming: packing many small demands into few
+//! wavelengths.
+//!
+//! §2.1: *"Compared to using muxponders in the DWDM layer to provide
+//! sub-wavelength connections, the OTN layer with its switching
+//! capability can achieve more efficient packing of wavelengths in the
+//! transport network."*
+//!
+//! Two packers implement the two sides of that comparison (experiment E6):
+//!
+//! - [`OtnGroomer`] — per-link grooming: demands are routed hop by hop
+//!   and *re-multiplexed at every intermediate OTN switch*, so a
+//!   wavelength on a given fiber carries tributaries of many different
+//!   end-to-end flows. Wavelengths needed on a fiber =
+//!   `ceil(slots crossing that fiber / slots per wavelength)`.
+//! - [`MuxponderPacker`] — end-to-end packing only: a muxponder at the
+//!   path head fixes the wavelength's contents for its whole journey, so
+//!   only demands with the *same* endpoints can share a wavelength.
+//!
+//! Both report wavelength·link usage (the paper-era network-cost proxy:
+//! each lit wavelength on each fiber consumes a transponder pair and grid
+//! space) and fill ratio.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use photonic::{FiberId, LineRate, PhotonicNetwork, RoadmId};
+
+use crate::odu::OduRate;
+use crate::switch::WavelengthLineRate;
+
+/// One sub-wavelength demand between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Caller-chosen id.
+    pub id: u32,
+    /// Source node.
+    pub from: RoadmId,
+    /// Destination node.
+    pub to: RoadmId,
+    /// The low-order container the demand needs.
+    pub odu: OduRate,
+}
+
+/// Outcome of a packing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroomingResult {
+    /// Wavelengths lit per fiber.
+    pub wavelengths_per_fiber: BTreeMap<FiberId, usize>,
+    /// Σ over fibers of lit wavelengths (wavelength·link cost proxy).
+    pub wavelength_links: usize,
+    /// Total tributary slots consumed across all fibers.
+    pub ts_used: usize,
+    /// Demands that could not be routed (disconnected endpoints).
+    pub unrouted: Vec<u32>,
+}
+
+impl GroomingResult {
+    /// Used slots over offered slots across all lit wavelengths
+    /// (1.0 = perfect packing).
+    pub fn fill_ratio(&self, per_wavelength_ts: usize) -> f64 {
+        let offered: usize = self.wavelength_links * per_wavelength_ts;
+        if offered == 0 {
+            0.0
+        } else {
+            self.ts_used as f64 / offered as f64
+        }
+    }
+}
+
+fn route_demands<'a>(
+    net: &PhotonicNetwork,
+    demands: &'a [Demand],
+) -> (Vec<(&'a Demand, Vec<FiberId>)>, Vec<u32>) {
+    let mut routed = Vec::new();
+    let mut unrouted = Vec::new();
+    for d in demands {
+        match net.shortest_path_hops(d.from, d.to) {
+            Some(path) if !path.is_empty() => routed.push((d, path)),
+            _ => unrouted.push(d.id),
+        }
+    }
+    (routed, unrouted)
+}
+
+/// Per-link grooming through intermediate OTN switches.
+#[derive(Debug, Clone, Copy)]
+pub struct OtnGroomer {
+    /// The wavelength line rate grooming packs into.
+    pub line_rate: LineRate,
+}
+
+impl OtnGroomer {
+    /// Slots one wavelength of the configured rate offers.
+    pub fn ts_per_wavelength(&self) -> usize {
+        OduRate::for_line_rate(WavelengthLineRate(self.line_rate)).ts_capacity()
+    }
+
+    /// Pack `demands` over shortest paths with per-link re-grooming.
+    pub fn pack(&self, net: &PhotonicNetwork, demands: &[Demand]) -> GroomingResult {
+        let cap = self.ts_per_wavelength();
+        let (routed, unrouted) = route_demands(net, demands);
+        let mut ts_per_fiber: BTreeMap<FiberId, usize> = BTreeMap::new();
+        let mut ts_used = 0;
+        for (d, path) in routed {
+            for f in path {
+                *ts_per_fiber.entry(f).or_insert(0) += d.odu.ts_needed();
+                ts_used += d.odu.ts_needed();
+            }
+        }
+        let wavelengths_per_fiber: BTreeMap<FiberId, usize> = ts_per_fiber
+            .iter()
+            .map(|(f, ts)| (*f, ts.div_ceil(cap)))
+            .collect();
+        GroomingResult {
+            wavelength_links: wavelengths_per_fiber.values().sum(),
+            wavelengths_per_fiber,
+            ts_used,
+            unrouted,
+        }
+    }
+}
+
+/// End-to-end muxponder packing (no intermediate grooming).
+#[derive(Debug, Clone, Copy)]
+pub struct MuxponderPacker {
+    /// The muxponder's line-side rate.
+    pub line_rate: LineRate,
+}
+
+impl MuxponderPacker {
+    /// Slots one muxponder wavelength offers.
+    pub fn ts_per_wavelength(&self) -> usize {
+        OduRate::for_line_rate(WavelengthLineRate(self.line_rate)).ts_capacity()
+    }
+
+    /// Pack `demands`: only same-endpoint demands share a wavelength, and
+    /// each wavelength occupies every fiber of its path.
+    pub fn pack(&self, net: &PhotonicNetwork, demands: &[Demand]) -> GroomingResult {
+        let cap = self.ts_per_wavelength();
+        let (routed, unrouted) = route_demands(net, demands);
+        // Group by unordered endpoint pair.
+        let mut groups: BTreeMap<(RoadmId, RoadmId), (usize, Vec<FiberId>)> = BTreeMap::new();
+        let mut ts_used = 0;
+        for (d, path) in routed {
+            let key = if d.from <= d.to {
+                (d.from, d.to)
+            } else {
+                (d.to, d.from)
+            };
+            let entry = groups.entry(key).or_insert_with(|| (0, path.clone()));
+            entry.0 += d.odu.ts_needed();
+            ts_used += d.odu.ts_needed() * entry.1.len();
+        }
+        let mut wavelengths_per_fiber: BTreeMap<FiberId, usize> = BTreeMap::new();
+        for (ts, path) in groups.values() {
+            let wl = ts.div_ceil(cap);
+            for f in path {
+                *wavelengths_per_fiber.entry(*f).or_insert(0) += wl;
+            }
+        }
+        GroomingResult {
+            wavelength_links: wavelengths_per_fiber.values().sum(),
+            wavelengths_per_fiber,
+            ts_used,
+            unrouted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonic::PhotonicNetwork;
+
+    /// A 3-node chain a—b—c so transit grooming has something to win.
+    fn chain() -> (PhotonicNetwork, RoadmId, RoadmId, RoadmId) {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        let c = net.add_roadm("c");
+        net.link(a, b, 100.0).unwrap();
+        net.link(b, c, 100.0).unwrap();
+        (net, a, b, c)
+    }
+
+    fn gbe(id: u32, from: RoadmId, to: RoadmId) -> Demand {
+        Demand {
+            id,
+            from,
+            to,
+            odu: OduRate::Odu0,
+        }
+    }
+
+    #[test]
+    fn otn_grooms_transit_demands_together() {
+        let (net, a, b, c) = chain();
+        // 4 × GbE a→b and 4 × GbE a→c: on fiber a–b there are 8 slots
+        // total → exactly one 10G wavelength with OTN grooming.
+        let demands: Vec<Demand> = (0..4)
+            .map(|i| gbe(i, a, b))
+            .chain((4..8).map(|i| gbe(i, a, c)))
+            .collect();
+        let otn = OtnGroomer {
+            line_rate: LineRate::Gbps10,
+        }
+        .pack(&net, &demands);
+        let fab = net.fiber_between(a, b).unwrap();
+        let fbc = net.fiber_between(b, c).unwrap();
+        assert_eq!(otn.wavelengths_per_fiber[&fab], 1);
+        assert_eq!(otn.wavelengths_per_fiber[&fbc], 1);
+        assert_eq!(otn.wavelength_links, 2);
+        assert!(otn.unrouted.is_empty());
+    }
+
+    #[test]
+    fn muxponder_cannot_mix_endpoint_groups() {
+        let (net, a, b, c) = chain();
+        let demands: Vec<Demand> = (0..4)
+            .map(|i| gbe(i, a, b))
+            .chain((4..8).map(|i| gbe(i, a, c)))
+            .collect();
+        let mxp = MuxponderPacker {
+            line_rate: LineRate::Gbps10,
+        }
+        .pack(&net, &demands);
+        // a→b group: 1 λ on a–b. a→c group: 1 λ on a–b AND b–c.
+        assert_eq!(mxp.wavelength_links, 3);
+        let fab = net.fiber_between(a, b).unwrap();
+        assert_eq!(mxp.wavelengths_per_fiber[&fab], 2);
+    }
+
+    #[test]
+    fn otn_never_worse_than_muxponder() {
+        let (net, a, b, c) = chain();
+        for n in [1usize, 3, 7, 12, 20] {
+            let demands: Vec<Demand> = (0..n as u32)
+                .map(|i| {
+                    let (from, to) = match i % 3 {
+                        0 => (a, b),
+                        1 => (b, c),
+                        _ => (a, c),
+                    };
+                    gbe(i, from, to)
+                })
+                .collect();
+            let otn = OtnGroomer {
+                line_rate: LineRate::Gbps10,
+            }
+            .pack(&net, &demands);
+            let mxp = MuxponderPacker {
+                line_rate: LineRate::Gbps10,
+            }
+            .pack(&net, &demands);
+            assert!(
+                otn.wavelength_links <= mxp.wavelength_links,
+                "n={n}: otn {} > mxp {}",
+                otn.wavelength_links,
+                mxp.wavelength_links
+            );
+        }
+    }
+
+    #[test]
+    fn fill_ratio_bounds() {
+        let (net, a, b, _) = chain();
+        let demands = vec![gbe(0, a, b)];
+        let g = OtnGroomer {
+            line_rate: LineRate::Gbps10,
+        };
+        let r = g.pack(&net, &demands);
+        // 1 slot used of 8 offered.
+        assert!((r.fill_ratio(g.ts_per_wavelength()) - 0.125).abs() < 1e-12);
+        let empty = g.pack(&net, &[]);
+        assert_eq!(empty.fill_ratio(8), 0.0);
+        assert_eq!(empty.wavelength_links, 0);
+    }
+
+    #[test]
+    fn mixed_odu_rates_pack_by_slots() {
+        let (net, a, b, _) = chain();
+        // ODU2 (8 TS) + ODU0 (1 TS) on a 40G line (32 TS) → one λ.
+        let demands = vec![
+            Demand {
+                id: 0,
+                from: a,
+                to: b,
+                odu: OduRate::Odu2,
+            },
+            gbe(1, a, b),
+        ];
+        let r = OtnGroomer {
+            line_rate: LineRate::Gbps40,
+        }
+        .pack(&net, &demands);
+        assert_eq!(r.wavelength_links, 1);
+        assert_eq!(r.ts_used, 9);
+    }
+
+    #[test]
+    fn unrouted_demands_reported() {
+        let mut net = PhotonicNetwork::new(photonic::ChannelGrid::C_BAND_80);
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b"); // no link
+        let r = OtnGroomer {
+            line_rate: LineRate::Gbps10,
+        }
+        .pack(&net, &[gbe(42, a, b)]);
+        assert_eq!(r.unrouted, vec![42]);
+        assert_eq!(r.wavelength_links, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Alarms: how the network tells the controller something broke.
+//!
+//! A single fiber cut raises a *storm* of alarms: the two adjacent ROADMs
+//! report loss of signal (LOS) on every lit wavelength of that degree,
+//! and every terminating transponder whose path crossed the cut reports
+//! LOS seconds later. The GRIPhoN controller's fault-localization job
+//! (implemented in `griphon::fault`) is to reduce the storm to one root
+//! cause and restore the impacted connections — this module defines the
+//! alarm vocabulary and the detection latency model.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+use crate::fiber::FiberId;
+use crate::grid::Wavelength;
+use crate::roadm::{DegreeId, RoadmId};
+use crate::transponder::TransponderId;
+
+/// How urgent an alarm is (mirrors carrier practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlarmSeverity {
+    /// Informational / cleared condition.
+    Minor,
+    /// Service-degrading.
+    Major,
+    /// Service-affecting outage.
+    Critical,
+}
+
+/// What was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlarmKind {
+    /// A ROADM degree lost light on one wavelength.
+    DegreeLos {
+        /// Reporting node.
+        roadm: RoadmId,
+        /// The degree (and hence fiber) the light vanished from.
+        degree: DegreeId,
+        /// Which channel.
+        wavelength: Wavelength,
+    },
+    /// A terminating transponder lost its receive signal.
+    OtLos {
+        /// The transponder reporting loss.
+        ot: TransponderId,
+    },
+    /// A transponder hardware fault.
+    OtFail {
+        /// The failed transponder.
+        ot: TransponderId,
+    },
+    /// Line-side telemetry flagged a whole fiber down (span telemetry).
+    FiberDown {
+        /// The fiber reported dark.
+        fiber: FiberId,
+    },
+}
+
+/// One alarm record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// When the EMS surfaced it to the controller.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: AlarmKind,
+    /// How bad it is.
+    pub severity: AlarmSeverity,
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            AlarmSeverity::Minor => "MIN",
+            AlarmSeverity::Major => "MAJ",
+            AlarmSeverity::Critical => "CRIT",
+        };
+        match self.kind {
+            AlarmKind::DegreeLos {
+                roadm,
+                degree,
+                wavelength,
+            } => write!(
+                f,
+                "[{}] {sev} LOS {wavelength} at {roadm}/{degree}",
+                self.at
+            ),
+            AlarmKind::OtLos { ot } => write!(f, "[{}] {sev} LOS at {ot}", self.at),
+            AlarmKind::OtFail { ot } => write!(f, "[{}] {sev} FAIL {ot}", self.at),
+            AlarmKind::FiberDown { fiber } => {
+                write!(f, "[{}] {sev} DARK {fiber}", self.at)
+            }
+        }
+    }
+}
+
+/// Detection latencies: how long after the physical event each class of
+/// alarm reaches the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionModel {
+    /// Photodiode LOS detection at the adjacent ROADM degrees (fast,
+    /// hardware-level — tens of ms).
+    pub degree_los: SimDuration,
+    /// Terminal OT LOS surfaced through its EMS (slower — EMS polling).
+    pub ot_los: SimDuration,
+    /// Line telemetry declaring the whole fiber down.
+    pub fiber_down: SimDuration,
+}
+
+impl Default for DetectionModel {
+    fn default() -> Self {
+        DetectionModel {
+            degree_los: SimDuration::from_millis(50),
+            ot_los: SimDuration::from_millis(2_500),
+            fiber_down: SimDuration::from_millis(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders() {
+        assert!(AlarmSeverity::Critical > AlarmSeverity::Major);
+        assert!(AlarmSeverity::Major > AlarmSeverity::Minor);
+    }
+
+    #[test]
+    fn detection_latencies_ordered_realistically() {
+        let d = DetectionModel::default();
+        assert!(d.degree_los < d.fiber_down);
+        assert!(d.fiber_down < d.ot_los);
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Alarm {
+            at: SimTime::from_secs(1),
+            kind: AlarmKind::DegreeLos {
+                roadm: RoadmId::new(2),
+                degree: DegreeId::new(1),
+                wavelength: Wavelength(9),
+            },
+            severity: AlarmSeverity::Critical,
+        };
+        assert_eq!(a.to_string(), "[t+1.00s] CRIT LOS λ9 at roadm2/deg1");
+        let b = Alarm {
+            at: SimTime::ZERO,
+            kind: AlarmKind::FiberDown {
+                fiber: FiberId::new(3),
+            },
+            severity: AlarmSeverity::Major,
+        };
+        assert!(b.to_string().contains("DARK fiber3"));
+    }
+}

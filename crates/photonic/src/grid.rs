@@ -1,0 +1,168 @@
+//! The DWDM channel grid and line rates.
+//!
+//! Modern systems (per the paper, §2.1) carry 40–100 wavelengths per fiber
+//! pair on the ITU-T G.694.1 50 GHz C-band grid, each at 10–100 Gbps.
+//! [`Wavelength`] is a channel index into a [`ChannelGrid`]; the grid maps
+//! indices to physical frequencies for display and validates bounds.
+
+use serde::{Deserialize, Serialize};
+use simcore::DataRate;
+use std::fmt;
+
+/// A wavelength channel — an index into the system's [`ChannelGrid`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Wavelength(pub u16);
+
+impl Wavelength {
+    /// Raw channel index (0-based).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Wavelength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+impl fmt::Debug for Wavelength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The fixed channel plan of a line system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelGrid {
+    /// Number of usable channels (40–100 in deployed systems).
+    pub channels: u16,
+    /// Channel spacing in GHz (50 for the systems the paper describes).
+    pub spacing_ghz: u16,
+    /// Frequency of channel 0 in GHz (ITU C-band anchor 191,700 GHz).
+    pub first_freq_ghz: u32,
+}
+
+impl ChannelGrid {
+    /// The 80-channel 50 GHz grid used by the backbone scenarios.
+    pub const C_BAND_80: ChannelGrid = ChannelGrid {
+        channels: 80,
+        spacing_ghz: 50,
+        first_freq_ghz: 191_700,
+    };
+
+    /// The 40-channel grid (the low end the paper quotes).
+    pub const C_BAND_40: ChannelGrid = ChannelGrid {
+        channels: 40,
+        spacing_ghz: 100,
+        first_freq_ghz: 191_700,
+    };
+
+    /// All wavelengths on this grid, in index order.
+    pub fn wavelengths(&self) -> impl Iterator<Item = Wavelength> {
+        (0..self.channels).map(Wavelength)
+    }
+
+    /// Does this grid contain the channel?
+    pub fn contains(&self, w: Wavelength) -> bool {
+        w.0 < self.channels
+    }
+
+    /// Centre frequency of a channel in GHz.
+    ///
+    /// # Panics
+    /// If the wavelength is off-grid.
+    pub fn frequency_ghz(&self, w: Wavelength) -> u32 {
+        assert!(
+            self.contains(w),
+            "{w} is off-grid ({} channels)",
+            self.channels
+        );
+        self.first_freq_ghz + w.0 as u32 * self.spacing_ghz as u32
+    }
+}
+
+/// Line rate of a wavelength (what one lit channel carries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LineRate {
+    /// 10 Gbps — the testbed's current rate.
+    Gbps10,
+    /// 40 Gbps — the testbed's planned rate, and the muxponder line side.
+    Gbps40,
+    /// 100 Gbps — the high end the paper quotes for modern systems.
+    Gbps100,
+}
+
+impl LineRate {
+    /// The payload rate.
+    pub fn rate(self) -> DataRate {
+        match self {
+            LineRate::Gbps10 => DataRate::from_gbps(10),
+            LineRate::Gbps40 => DataRate::from_gbps(40),
+            LineRate::Gbps100 => DataRate::from_gbps(100),
+        }
+    }
+
+    /// All defined line rates, ascending.
+    pub const ALL: [LineRate; 3] = [LineRate::Gbps10, LineRate::Gbps40, LineRate::Gbps100];
+
+    /// Smallest line rate that can carry `demand`, if any.
+    pub fn smallest_fitting(demand: DataRate) -> Option<LineRate> {
+        Self::ALL.into_iter().find(|r| r.rate() >= demand)
+    }
+}
+
+impl fmt::Display for LineRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_bounds() {
+        let g = ChannelGrid::C_BAND_80;
+        assert!(g.contains(Wavelength(0)));
+        assert!(g.contains(Wavelength(79)));
+        assert!(!g.contains(Wavelength(80)));
+        assert_eq!(g.wavelengths().count(), 80);
+    }
+
+    #[test]
+    fn frequencies_follow_spacing() {
+        let g = ChannelGrid::C_BAND_80;
+        assert_eq!(g.frequency_ghz(Wavelength(0)), 191_700);
+        assert_eq!(g.frequency_ghz(Wavelength(1)), 191_750);
+        assert_eq!(g.frequency_ghz(Wavelength(79)), 191_700 + 79 * 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-grid")]
+    fn off_grid_frequency_panics() {
+        ChannelGrid::C_BAND_40.frequency_ghz(Wavelength(40));
+    }
+
+    #[test]
+    fn line_rates() {
+        assert_eq!(LineRate::Gbps10.rate(), DataRate::from_gbps(10));
+        assert_eq!(LineRate::Gbps40.rate(), DataRate::from_gbps(40));
+        assert_eq!(
+            LineRate::smallest_fitting(DataRate::from_gbps(12)),
+            Some(LineRate::Gbps40)
+        );
+        assert_eq!(
+            LineRate::smallest_fitting(DataRate::from_gbps(10)),
+            Some(LineRate::Gbps10)
+        );
+        assert_eq!(LineRate::smallest_fitting(DataRate::from_gbps(400)), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Wavelength(7).to_string(), "λ7");
+        assert_eq!(LineRate::Gbps40.to_string(), "40G");
+    }
+}

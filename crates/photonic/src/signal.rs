@@ -1,0 +1,200 @@
+//! Line-side signal quality: OTU framing, FEC, and the Q-factor budget.
+//!
+//! §2.1 mentions the OTN layer's "digitally framed signals with digital
+//! overhead … Forward Error Correction for enhanced system performance".
+//! This module supplies the signal-quality arithmetic behind two things
+//! the rest of the stack treats as givens:
+//!
+//! - the **optical reach** figures in [`crate::reach`] — derived here
+//!   from a Q-factor budget (launch OSNR, per-span degradation, FEC
+//!   threshold) rather than postulated;
+//! - the **path validation** step of connection setup — an end-to-end
+//!   quality check the controller can consult
+//!   ([`SignalBudget::path_ok`]).
+//!
+//! The model is the standard back-of-the-envelope used in transport
+//! planning: OSNR after `n` identical amplified spans falls as
+//! `OSNR_launch − 10·log10(n) − margins`, Q is an affine function of
+//! OSNR in dB for a given rate, and the signal survives if the pre-FEC
+//! Q clears the FEC threshold (RS(255,239) ≈ 8.5 dBQ raw, ~6.2 dBQ with
+//! enhanced FEC). It intentionally stops there — full waveform
+//! simulation is out of scope (see crate docs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::LineRate;
+
+/// The OTU frame that carries each line rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OtuFrame {
+    /// OTU2 — 10.709 Gbps line rate carrying ODU2.
+    Otu2,
+    /// OTU3 — 43.018 Gbps carrying ODU3.
+    Otu3,
+    /// OTU4 — 111.810 Gbps carrying ODU4.
+    Otu4,
+}
+
+impl OtuFrame {
+    /// The OTU frame for a line rate.
+    pub fn for_rate(rate: LineRate) -> OtuFrame {
+        match rate {
+            LineRate::Gbps10 => OtuFrame::Otu2,
+            LineRate::Gbps40 => OtuFrame::Otu3,
+            LineRate::Gbps100 => OtuFrame::Otu4,
+        }
+    }
+
+    /// Gross line rate in Mbps (payload + overhead + FEC parity —
+    /// G.709's 255/227 expansion).
+    pub fn line_rate_mbps(self) -> u64 {
+        match self {
+            OtuFrame::Otu2 => 10_709,
+            OtuFrame::Otu3 => 43_018,
+            OtuFrame::Otu4 => 111_810,
+        }
+    }
+
+    /// FEC overhead fraction (G.709 RS(255,239): 255/239 − 1 ≈ 6.7 %).
+    pub fn fec_overhead(self) -> f64 {
+        255.0 / 239.0 - 1.0
+    }
+}
+
+/// Q-factor budget for one line rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalBudget {
+    /// Launch OSNR in dB (0.1 nm reference bandwidth).
+    pub launch_osnr_db: f64,
+    /// OSNR (dB) required for Q = FEC threshold at this rate.
+    pub required_osnr_db: f64,
+    /// System margin reserved for aging/polarization effects (dB).
+    pub margin_db: f64,
+    /// Per-span penalty beyond pure noise accumulation (dB) —
+    /// filtering, crosstalk.
+    pub per_span_penalty_db: f64,
+}
+
+impl SignalBudget {
+    /// Typical budgets per rate (calibrated so the derived reach matches
+    /// [`crate::reach::ReachModel::default`] within one 80 km span).
+    pub fn for_rate(rate: LineRate) -> SignalBudget {
+        match rate {
+            // 10G NRZ: generous OSNR requirement, long reach.
+            LineRate::Gbps10 => SignalBudget {
+                launch_osnr_db: 35.0,
+                required_osnr_db: 11.0,
+                margin_db: 3.0,
+                per_span_penalty_db: 0.2,
+            },
+            // 40G DPSK: ~6 dB more OSNR needed.
+            LineRate::Gbps40 => SignalBudget {
+                launch_osnr_db: 35.0,
+                required_osnr_db: 14.8,
+                margin_db: 3.0,
+                per_span_penalty_db: 0.25,
+            },
+            // 100G coherent: high requirement but DSP compensation.
+            LineRate::Gbps100 => SignalBudget {
+                launch_osnr_db: 35.0,
+                required_osnr_db: 13.5,
+                margin_db: 3.0,
+                per_span_penalty_db: 0.15,
+            },
+        }
+    }
+
+    /// OSNR (dB) after `spans` identical amplified spans.
+    pub fn osnr_after(&self, spans: usize) -> f64 {
+        if spans == 0 {
+            return self.launch_osnr_db;
+        }
+        self.launch_osnr_db
+            - 10.0 * (spans as f64).log10()
+            - self.per_span_penalty_db * spans as f64
+    }
+
+    /// Remaining margin (dB) after `spans`; negative = signal fails.
+    pub fn margin_after(&self, spans: usize) -> f64 {
+        self.osnr_after(spans) - self.required_osnr_db - self.margin_db
+    }
+
+    /// Does a transparent segment of `spans` amplified spans close?
+    pub fn path_ok(&self, spans: usize) -> bool {
+        self.margin_after(spans) >= 0.0
+    }
+
+    /// Maximum spans the budget supports (the reach, in spans).
+    pub fn max_spans(&self) -> usize {
+        (1..10_000).take_while(|s| self.path_ok(*s)).count()
+    }
+
+    /// Derived reach in km assuming `span_km` spacing.
+    pub fn reach_km(&self, span_km: f64) -> f64 {
+        self.max_spans() as f64 * span_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_map_to_rates() {
+        assert_eq!(OtuFrame::for_rate(LineRate::Gbps10), OtuFrame::Otu2);
+        assert_eq!(OtuFrame::for_rate(LineRate::Gbps40), OtuFrame::Otu3);
+        assert_eq!(OtuFrame::for_rate(LineRate::Gbps100), OtuFrame::Otu4);
+        // Line rate exceeds payload rate (FEC + overhead).
+        assert!(OtuFrame::Otu2.line_rate_mbps() > 10_000);
+        assert!((OtuFrame::Otu2.fec_overhead() - 0.0669).abs() < 1e-3);
+    }
+
+    #[test]
+    fn osnr_decreases_with_spans() {
+        let b = SignalBudget::for_rate(LineRate::Gbps10);
+        assert_eq!(b.osnr_after(0), b.launch_osnr_db);
+        for n in 1..40 {
+            assert!(b.osnr_after(n + 1) < b.osnr_after(n));
+        }
+        // Doubling spans costs ~3 dB of noise plus penalties.
+        let d = b.osnr_after(10) - b.osnr_after(20);
+        assert!((d - (3.01 + 0.2 * 10.0)).abs() < 0.1, "d={d}");
+    }
+
+    #[test]
+    fn derived_reach_matches_reach_model_order() {
+        // 10 G must out-reach 40 G; 100 G coherent sits between.
+        let r10 = SignalBudget::for_rate(LineRate::Gbps10).reach_km(80.0);
+        let r40 = SignalBudget::for_rate(LineRate::Gbps40).reach_km(80.0);
+        let r100 = SignalBudget::for_rate(LineRate::Gbps100).reach_km(80.0);
+        assert!(r40 < r100 && r100 < r10, "{r40} {r100} {r10}");
+        // Within ~1.5 spans of the postulated ReachModel figures.
+        let model = crate::reach::ReachModel::default();
+        assert!(
+            (r10 - model.km_10g).abs() <= 240.0,
+            "10G: derived {r10} vs model {}",
+            model.km_10g
+        );
+        assert!(
+            (r40 - model.km_40g).abs() <= 240.0,
+            "40G: derived {r40} vs model {}",
+            model.km_40g
+        );
+        assert!(
+            (r100 - model.km_100g).abs() <= 240.0,
+            "100G: derived {r100} vs model {}",
+            model.km_100g
+        );
+    }
+
+    #[test]
+    fn path_ok_boundary() {
+        let b = SignalBudget::for_rate(LineRate::Gbps40);
+        let max = b.max_spans();
+        assert!(b.path_ok(max));
+        assert!(!b.path_ok(max + 1));
+        assert!(b.margin_after(max) >= 0.0);
+        assert!(b.margin_after(max + 1) < 0.0);
+        assert!(b.path_ok(0), "back-to-back always closes");
+    }
+}

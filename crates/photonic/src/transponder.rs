@@ -1,0 +1,349 @@
+//! Optical transponders, regenerators and muxponders.
+//!
+//! - A [`Transponder`] (OT) converts a client-side signal to a tunable
+//!   line-side wavelength. Tuning the laser is the single slowest optical
+//!   task in connection setup (§3 of the paper).
+//! - A [`Regen`] is the standard back-to-back OT pair used when a path
+//!   exceeds optical reach; it also permits wavelength conversion at the
+//!   regeneration site.
+//! - A [`Muxponder`] aggregates four 10 G client ports onto a 40 G line
+//!   signal; the testbed uses one per customer premises as emulated
+//!   network-terminating equipment (NTE), and muxponders are also the
+//!   "today's reality" way of carrying sub-wavelength traffic that the
+//!   OTN layer's grooming is compared against (experiment E6).
+//!
+//! Transponders live at ROADM nodes and are shared between customers via
+//! the client-side FXC — "dynamic sharing of transponders … useful in
+//! keeping costs low" (§2.2).
+
+use serde::{Deserialize, Serialize};
+use simcore::define_id;
+
+use crate::grid::{LineRate, Wavelength};
+use crate::roadm::RoadmId;
+
+define_id!(
+    /// Identifier of an optical transponder.
+    TransponderId,
+    "ot"
+);
+
+define_id!(
+    /// Identifier of a regenerator (a back-to-back OT pair).
+    RegenId,
+    "regen"
+);
+
+define_id!(
+    /// Identifier of a muxponder.
+    MuxponderId,
+    "mxp"
+);
+
+/// Lifecycle of a transponder's line side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransponderState {
+    /// Laser off, available to the pool.
+    Idle,
+    /// Laser tuning to the target wavelength (takes tens of seconds).
+    Tuning {
+        /// The wavelength being acquired.
+        target: Wavelength,
+    },
+    /// Locked and carrying traffic.
+    Active {
+        /// The lit wavelength.
+        wavelength: Wavelength,
+    },
+    /// Hardware fault — removed from the pool until replaced.
+    Failed,
+}
+
+/// A tunable optical transponder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transponder {
+    /// This OT's id.
+    pub id: TransponderId,
+    /// The ROADM node whose add/drop bank it sits in.
+    pub location: RoadmId,
+    /// Line rate this OT transmits at.
+    pub rate: LineRate,
+    /// Current line-side state.
+    pub state: TransponderState,
+}
+
+impl Transponder {
+    /// A new idle transponder.
+    pub fn new(id: TransponderId, location: RoadmId, rate: LineRate) -> Transponder {
+        Transponder {
+            id,
+            location,
+            rate,
+            state: TransponderState::Idle,
+        }
+    }
+
+    /// Is the OT free for a new connection?
+    pub fn is_idle(&self) -> bool {
+        self.state == TransponderState::Idle
+    }
+
+    /// Begin tuning the laser to `w`.
+    ///
+    /// # Panics
+    /// If the OT is not idle — pool accounting upstream must prevent this.
+    pub fn start_tuning(&mut self, w: Wavelength) {
+        assert!(
+            self.is_idle(),
+            "{} asked to tune while {:?}",
+            self.id,
+            self.state
+        );
+        self.state = TransponderState::Tuning { target: w };
+    }
+
+    /// Laser locked: the OT is now carrying traffic.
+    ///
+    /// # Panics
+    /// If the OT was not tuning.
+    pub fn tuning_complete(&mut self) {
+        match self.state {
+            TransponderState::Tuning { target } => {
+                self.state = TransponderState::Active { wavelength: target };
+            }
+            ref s => panic!("{} tuning_complete while {s:?}", self.id),
+        }
+    }
+
+    /// Turn the laser off and return the OT to the pool. Valid from any
+    /// live state (teardown may race with tuning).
+    pub fn release(&mut self) {
+        if self.state != TransponderState::Failed {
+            self.state = TransponderState::Idle;
+        }
+    }
+
+    /// Mark the OT failed (hardware fault injection).
+    pub fn fail(&mut self) {
+        self.state = TransponderState::Failed;
+    }
+
+    /// Replace failed hardware, returning the OT to the idle pool.
+    pub fn repair(&mut self) {
+        assert_eq!(
+            self.state,
+            TransponderState::Failed,
+            "repairing a healthy OT"
+        );
+        self.state = TransponderState::Idle;
+    }
+
+    /// The wavelength currently lit, if active.
+    pub fn wavelength(&self) -> Option<Wavelength> {
+        match self.state {
+            TransponderState::Active { wavelength } => Some(wavelength),
+            _ => None,
+        }
+    }
+}
+
+/// A regenerator site: two OTs back to back, extending reach and allowing
+/// the wavelength to change at this node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Regen {
+    /// This REGEN's id.
+    pub id: RegenId,
+    /// The node it is installed at.
+    pub location: RoadmId,
+    /// Line rate (both sides must match).
+    pub rate: LineRate,
+    /// Whether a connection currently holds it.
+    pub in_use: bool,
+}
+
+impl Regen {
+    /// A new, free regenerator.
+    pub fn new(id: RegenId, location: RoadmId, rate: LineRate) -> Regen {
+        Regen {
+            id,
+            location,
+            rate,
+            in_use: false,
+        }
+    }
+
+    /// Claim the regen for a connection.
+    ///
+    /// # Panics
+    /// If it is already held.
+    pub fn claim(&mut self) {
+        assert!(!self.in_use, "{} double-claimed", self.id);
+        self.in_use = true;
+    }
+
+    /// Return the regen to the pool.
+    pub fn release(&mut self) {
+        self.in_use = false;
+    }
+}
+
+/// A 4×10G → 40G muxponder (also the testbed's emulated NTE).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Muxponder {
+    /// This muxponder's id.
+    pub id: MuxponderId,
+    /// Occupancy of the four 10 G client ports.
+    client_ports: [bool; 4],
+}
+
+impl Muxponder {
+    /// Client ports per muxponder.
+    pub const CLIENT_PORTS: usize = 4;
+    /// Rate of each client port.
+    pub const CLIENT_RATE: LineRate = LineRate::Gbps10;
+    /// Line-side rate.
+    pub const LINE_RATE: LineRate = LineRate::Gbps40;
+
+    /// A new muxponder with all client ports free.
+    pub fn new(id: MuxponderId) -> Muxponder {
+        Muxponder {
+            id,
+            client_ports: [false; 4],
+        }
+    }
+
+    /// Claim the first free client port, if any.
+    pub fn claim_port(&mut self) -> Option<usize> {
+        let i = self.client_ports.iter().position(|used| !used)?;
+        self.client_ports[i] = true;
+        Some(i)
+    }
+
+    /// Release a previously claimed client port.
+    ///
+    /// # Panics
+    /// If the port index is out of range or the port was not claimed.
+    pub fn release_port(&mut self, i: usize) {
+        assert!(self.client_ports[i], "port {i} was not claimed");
+        self.client_ports[i] = false;
+    }
+
+    /// Number of client ports currently in use.
+    pub fn ports_used(&self) -> usize {
+        self.client_ports.iter().filter(|u| **u).count()
+    }
+
+    /// Fraction of the 40 G line side actually filled by claimed clients —
+    /// the quantity muxponder-only grooming wastes and OTN recovers (E6).
+    pub fn fill_ratio(&self) -> f64 {
+        self.ports_used() as f64 / Self::CLIENT_PORTS as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ot() -> Transponder {
+        Transponder::new(TransponderId::new(0), RoadmId::new(0), LineRate::Gbps10)
+    }
+
+    #[test]
+    fn tuning_lifecycle() {
+        let mut t = ot();
+        assert!(t.is_idle());
+        assert_eq!(t.wavelength(), None);
+        t.start_tuning(Wavelength(4));
+        assert_eq!(
+            t.state,
+            TransponderState::Tuning {
+                target: Wavelength(4)
+            }
+        );
+        t.tuning_complete();
+        assert_eq!(t.wavelength(), Some(Wavelength(4)));
+        t.release();
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "asked to tune")]
+    fn tuning_while_active_panics() {
+        let mut t = ot();
+        t.start_tuning(Wavelength(1));
+        t.tuning_complete();
+        t.start_tuning(Wavelength(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "tuning_complete")]
+    fn complete_without_tuning_panics() {
+        ot().tuning_complete();
+    }
+
+    #[test]
+    fn release_during_tuning_aborts() {
+        let mut t = ot();
+        t.start_tuning(Wavelength(1));
+        t.release();
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn fail_sticks_until_repair() {
+        let mut t = ot();
+        t.fail();
+        assert_eq!(t.state, TransponderState::Failed);
+        t.release(); // release must not resurrect failed hardware
+        assert_eq!(t.state, TransponderState::Failed);
+        t.repair();
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "healthy")]
+    fn repair_healthy_panics() {
+        ot().repair();
+    }
+
+    #[test]
+    fn regen_claim_release() {
+        let mut r = Regen::new(RegenId::new(0), RoadmId::new(1), LineRate::Gbps10);
+        assert!(!r.in_use);
+        r.claim();
+        assert!(r.in_use);
+        r.release();
+        assert!(!r.in_use);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-claimed")]
+    fn regen_double_claim_panics() {
+        let mut r = Regen::new(RegenId::new(0), RoadmId::new(1), LineRate::Gbps10);
+        r.claim();
+        r.claim();
+    }
+
+    #[test]
+    fn muxponder_port_pool() {
+        let mut m = Muxponder::new(MuxponderId::new(0));
+        let a = m.claim_port().unwrap();
+        let b = m.claim_port().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.ports_used(), 2);
+        assert!((m.fill_ratio() - 0.5).abs() < 1e-12);
+        m.release_port(a);
+        assert_eq!(m.ports_used(), 1);
+        // Freed port is reusable; pool exhausts at four.
+        m.claim_port().unwrap();
+        m.claim_port().unwrap();
+        m.claim_port().unwrap();
+        assert_eq!(m.claim_port(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not claimed")]
+    fn muxponder_release_unclaimed_panics() {
+        Muxponder::new(MuxponderId::new(0)).release_port(2);
+    }
+}

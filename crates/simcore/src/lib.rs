@@ -1,0 +1,61 @@
+//! # simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation every other crate in this workspace builds on. The design
+//! follows the smoltcp idiom: *explicit state machines with time passed in
+//! from the outside*. Nothing in this crate reads a wall clock, allocates
+//! hidden global state, or behaves differently across runs with the same
+//! seed.
+//!
+//! ## Components
+//!
+//! - [`time`] — [`SimTime`]/[`SimDuration`], nanosecond-resolution simulated
+//!   time with checked arithmetic and human-readable formatting.
+//! - [`queue`] — [`Scheduler`], a calendar queue (binary heap with a
+//!   monotonic sequence tiebreak) supporting cancellable timers. Events at
+//!   equal timestamps pop in scheduling order, which makes every simulation
+//!   built on it deterministic.
+//! - [`rng`] — [`SimRng`], a small, fully reproducible PRNG
+//!   (SplitMix64-seeded xoshiro256**) with the distributions the workload
+//!   generators need (uniform, exponential, normal, lognormal, Pareto,
+//!   weighted choice).
+//! - [`metrics`] — counters, gauges, log-linear histograms and time series
+//!   for recording experiment output.
+//! - [`trace`] — a bounded structured event log for debugging and for
+//!   asserting on simulation behaviour in tests.
+//! - [`units`] — [`DataRate`] / [`DataSize`] newtypes shared by all layers.
+//! - [`ids`] — the [`define_id!`] macro for typed entity identifiers.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::{Scheduler, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_after(SimDuration::from_secs(2), Ev::Pong);
+//! sched.schedule_after(SimDuration::from_secs(1), Ev::Ping);
+//! let (t1, e1) = sched.pop().unwrap();
+//! assert_eq!((t1, e1), (SimTime::from_secs(1), Ev::Ping));
+//! let (t2, e2) = sched.pop().unwrap();
+//! assert_eq!((t2, e2), (SimTime::from_secs(2), Ev::Pong));
+//! assert_eq!(sched.now(), SimTime::from_secs(2));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ids;
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, TimeSeries};
+pub use queue::{EventId, Scheduler};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceLog};
+pub use units::{DataRate, DataSize};

@@ -1,0 +1,485 @@
+//! Experiment metrics: counters, gauges, histograms, and time series.
+//!
+//! The benchmark harness regenerates the paper's tables from these
+//! recorders. Everything is plain data — snapshots are cheap and the whole
+//! registry can be dumped as text for `EXPERIMENTS.md`.
+//!
+//! [`Histogram`] keeps exact running moments (count, sum, min, max, sum of
+//! squares) *and* log-linear buckets for quantile estimation, the same
+//! trade-off HdrHistogram makes: bounded memory, ~4 % relative quantile
+//! error, no stored samples.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A point-in-time value that can move both ways (e.g. wavelengths in use).
+#[derive(Debug, Default, Clone)]
+pub struct Gauge {
+    value: f64,
+    max_seen: f64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Set the current value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+        if v > self.max_seen {
+            self.max_seen = v;
+        }
+    }
+    /// Adjust by a delta.
+    pub fn adjust(&mut self, delta: f64) {
+        self.set(self.value + delta);
+    }
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+    /// High-water mark since creation.
+    pub fn max_seen(&self) -> f64 {
+        self.max_seen
+    }
+}
+
+const BUCKETS_PER_DECADE: usize = 16;
+
+/// Log-linear histogram over non-negative values with exact moments.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+    /// bucket index -> count; index derived from log10 of the value.
+    buckets: BTreeMap<i32, u64>,
+    zeros: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    fn bucket_of(v: f64) -> i32 {
+        // log-linear: BUCKETS_PER_DECADE buckets per power of ten.
+        (v.log10() * BUCKETS_PER_DECADE as f64).floor() as i32
+    }
+
+    fn bucket_midpoint(b: i32) -> f64 {
+        10f64.powf((b as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+    }
+
+    /// Record one observation. Negative values are a logic error and panic.
+    pub fn record(&mut self, v: f64) {
+        assert!(v >= 0.0 && v.is_finite(), "histogram value {v}");
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(Self::bucket_of(v)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+    /// Population standard deviation, or 0 for fewer than 2 samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0);
+        var.sqrt()
+    }
+    /// Smallest observation (exact). 0 for empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    /// Largest observation (exact). 0 for empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`), within one log-linear bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zeros;
+        if seen >= target {
+            return 0.0;
+        }
+        for (b, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_midpoint(*b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.zeros += other.zeros;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, c) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += c;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.max()
+        )
+    }
+}
+
+/// A `(time, value)` series, e.g. provisioned bandwidth over a day.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point. Time must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some((last, _)) = self.points.last() {
+            assert!(t >= *last, "time series must be appended in order");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Value in force at time `t` (step interpolation), or `None` before
+    /// the first point.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.partition_point(|(pt, _)| *pt <= t) {
+            0 => None,
+            i => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// Time integral of the step function over `[start, end]` — e.g.
+    /// gigabit-seconds of provisioned capacity, for the cost model.
+    pub fn integral(&self, start: SimTime, end: SimTime) -> f64 {
+        assert!(end >= start);
+        let mut acc = 0.0;
+        let mut cur_t = start;
+        let mut cur_v = self.value_at(start).unwrap_or(0.0);
+        for (t, v) in &self.points {
+            if *t <= start {
+                continue;
+            }
+            if *t >= end {
+                break;
+            }
+            acc += cur_v * (*t - cur_t).as_secs_f64();
+            cur_t = *t;
+            cur_v = *v;
+        }
+        acc += cur_v * (end - cur_t).as_secs_f64();
+        acc
+    }
+
+    /// Largest value in the series (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+}
+
+/// A named collection of metrics for one experiment run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Named counter (created on first use).
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+    /// Named gauge (created on first use).
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        self.gauges.entry(name.to_string()).or_default()
+    }
+    /// Named histogram (created on first use).
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+    /// Named time series (created on first use).
+    pub fn series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_string()).or_default()
+    }
+
+    /// Read a counter if it exists.
+    pub fn get_counter(&self, name: &str) -> Option<&Counter> {
+        self.counters.get(name)
+    }
+    /// Read a histogram if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+    /// Read a time series if it exists.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+    /// Read a gauge if it exists.
+    pub fn get_gauge(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
+    /// Human-readable dump of everything, sorted by name.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter  {k} = {}\n", v.get()));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!(
+                "gauge    {k} = {:.3} (max {:.3})\n",
+                v.get(),
+                v.max_seen()
+            ));
+        }
+        for (k, v) in &self.histograms {
+            out.push_str(&format!("hist     {k}: {v}\n"));
+        }
+        for (k, v) in &self.series {
+            out.push_str(&format!(
+                "series   {k}: {} points, max {:.3}\n",
+                v.points().len(),
+                v.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let mut g = Gauge::new();
+        g.set(3.0);
+        g.adjust(-1.0);
+        assert_eq!(g.get(), 2.0);
+        assert_eq!(g.max_seen(), 3.0);
+    }
+
+    #[test]
+    fn histogram_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), 2.0);
+        assert_eq!(h.max(), 6.0);
+        assert!((h.std_dev() - (8.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.16, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 990.0).abs() / 990.0 < 0.16, "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn histogram_zeros_and_empty() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0.0);
+        h.record(0.0);
+        h.record(10.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.quantile(0.99) > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram value")]
+    fn histogram_rejects_negative() {
+        Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn series_step_semantics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(10), 1.0);
+        ts.push(SimTime::from_secs(20), 3.0);
+        assert_eq!(ts.value_at(SimTime::from_secs(5)), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(10)), Some(1.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(15)), Some(1.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(25)), Some(3.0));
+        assert_eq!(ts.max(), 3.0);
+    }
+
+    #[test]
+    fn series_integral() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::ZERO, 2.0);
+        ts.push(SimTime::from_secs(10), 4.0);
+        // [0,10)=2.0, [10,20)=4.0 → integral over [0,20] = 20 + 40 = 60.
+        let i = ts.integral(SimTime::ZERO, SimTime::from_secs(20));
+        assert!((i - 60.0).abs() < 1e-9);
+        // Partial window [5, 15] = 2*5 + 4*5 = 30.
+        let i2 = ts.integral(SimTime::from_secs(5), SimTime::from_secs(15));
+        assert!((i2 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(10), 1.0);
+        ts.push(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn registry_report_contains_entries() {
+        let mut m = MetricsRegistry::new();
+        m.counter("setup.count").add(3);
+        m.histogram("setup.seconds").record(62.5);
+        m.gauge("lambdas.active").set(4.0);
+        m.series("bw").push(SimTime::ZERO, 10.0);
+        let r = m.report();
+        assert!(r.contains("setup.count = 3"));
+        assert!(r.contains("setup.seconds"));
+        assert!(r.contains("lambdas.active"));
+        assert!(r.contains("bw"));
+        let _ = SimDuration::ZERO;
+    }
+}

@@ -1,0 +1,172 @@
+//! Structured trace log.
+//!
+//! Domain state machines append [`TraceEvent`]s as they transition; tests
+//! and the fault-localization logic assert on the sequence. The log is
+//! bounded (a ring) so week-long simulated runs cannot exhaust memory.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Coarse category, e.g. `"ems"`, `"roadm"`, `"conn"`, `"alarm"`.
+    pub category: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:<6} {}", self.at, self.category, self.detail)
+    }
+}
+
+/// Bounded in-memory trace log.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+impl TraceLog {
+    /// A log holding at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Turn recording on/off (e.g. during warm-up).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Append an event.
+    pub fn emit(&mut self, at: SimTime, category: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            category,
+            detail: detail.into(),
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events in a category.
+    pub fn in_category<'a>(
+        &'a self,
+        category: &'static str,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// Count of events whose detail contains `needle` (test helper).
+    pub fn count_containing(&self, needle: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.detail.contains(needle))
+            .count()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the whole retained log.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_query() {
+        let mut log = TraceLog::new(16);
+        log.emit(SimTime::from_secs(1), "ems", "cmd start");
+        log.emit(SimTime::from_secs(2), "roadm", "wss reconfig");
+        log.emit(SimTime::from_secs(3), "ems", "cmd done");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.in_category("ems").count(), 2);
+        assert_eq!(log.count_containing("cmd"), 2);
+        assert!(log.dump().contains("wss reconfig"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5u64 {
+            log.emit(SimTime::from_secs(i), "t", format!("e{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.detail, "e2");
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(4);
+        log.set_enabled(false);
+        log.emit(SimTime::ZERO, "t", "x");
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.emit(SimTime::ZERO, "t", "y");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: SimTime::from_secs(5),
+            category: "conn",
+            detail: "active".into(),
+        };
+        assert_eq!(e.to_string(), "[t+5.00s] conn   active");
+    }
+}

@@ -1,0 +1,103 @@
+//! A CSP's whole operations loop: three data centers behind access
+//! pipes, a geo-redundancy replication policy generating the transfer
+//! work, the deadline-aware BoD scheduler moving it, and the carrier's
+//! and customer's views of the result.
+//!
+//! ```sh
+//! cargo run --example csp_operations
+//! ```
+
+use cloud::replication::ReplicationPolicy;
+use cloud::scheduler::DeadlineBodPolicy;
+use cloud::{CspPortal, DataCenterSet};
+use griphon::controller::{Controller, ControllerConfig};
+use photonic::{LineRate, PhotonicNetwork};
+use simcore::{DataRate, DataSize, SimDuration};
+
+fn main() {
+    // Carrier side: the NSFNET backbone with OTN switches at three PoPs.
+    let net = PhotonicNetwork::nsfnet(8, LineRate::Gbps10, 3);
+    let ashburn_pop = net.roadm_by_name("CollegePark").unwrap();
+    let dallas_pop = net.roadm_by_name("Houston").unwrap();
+    let sanjose_pop = net.roadm_by_name("PaloAlto").unwrap();
+    let mut ctl = Controller::new(net, ControllerConfig::default());
+    for pop in [ashburn_pop, dallas_pop, sanjose_pop] {
+        ctl.add_otn_switch(pop, DataRate::from_gbps(320));
+    }
+    ctl.provision_trunk(ashburn_pop, dallas_pop, LineRate::Gbps10)
+        .unwrap();
+    ctl.provision_trunk(dallas_pop, sanjose_pop, LineRate::Gbps10)
+        .unwrap();
+    ctl.run_until_idle();
+    let account = ctl.tenants.register("acme-cloud", DataRate::from_gbps(300));
+
+    // CSP side: sites and access pipes.
+    let mut dcs = DataCenterSet::new();
+    let ash = dcs.add("ashburn", ashburn_pop, DataRate::from_gbps(40));
+    let dal = dcs.add("dallas", dallas_pop, DataRate::from_gbps(40));
+    let sjc = dcs.add("sanjose", sanjose_pop, DataRate::from_gbps(25));
+    let mut portal = CspPortal::new(account, dcs);
+
+    // Standing connectivity: a 12 G bundle Ashburn↔Dallas through the
+    // portal (access-pipe checked).
+    let order = portal
+        .order(&mut ctl, ash, dal, DataRate::from_gbps(12))
+        .expect("pipes have headroom");
+    ctl.run_until_idle();
+    println!(
+        "standing order {order}: headroom now ashburn={} dallas={} sanjose={}",
+        portal.headroom(ash),
+        portal.headroom(dal),
+        portal.headroom(sjc)
+    );
+
+    // Replication policy: geo-redundant deltas, 2 copies, plus a weekly
+    // 20 TB VoD push from Ashburn.
+    let geo = ReplicationPolicy::GeoRedundant {
+        copies: 2,
+        ingest_rate: DataRate::from_gbps(2),
+        batch: DataSize::from_terabytes(4),
+    };
+    let horizon = SimDuration::from_hours(48);
+    let mut next_id = 0;
+    let jobs = geo.jobs(&portal.dcs, horizon, &mut next_id);
+    println!(
+        "\ngeo-redundancy generates {} delta jobs ({:.0} TB) over 48 h",
+        jobs.len(),
+        geo.bytes_over(&portal.dcs, horizon).terabytes_f64()
+    );
+
+    // Move the Ashburn→Dallas share with the deadline-aware policy.
+    let ash_dal: Vec<_> = jobs
+        .iter()
+        .filter(|j| j.from == ash && j.to == dal)
+        .cloned()
+        .collect();
+    let n = ash_dal.len();
+    let outcome = DeadlineBodPolicy::default().run(
+        &mut ctl,
+        account,
+        ashburn_pop,
+        dallas_pop,
+        ash_dal,
+        horizon,
+        SimDuration::from_secs(60),
+    );
+    println!(
+        "moved {}/{} ashburn→dallas deltas; mean completion {:.2} h; {:.1} Gbps·h held over {} setups",
+        outcome.log.completed, n,
+        outcome.log.mean_completion_secs / 3600.0,
+        outcome.gbps_hours,
+        outcome.setups
+    );
+
+    // The two views of the same world.
+    println!("\n{}", ctl.customer_view(account));
+    let sla = ctl.sla_report(account);
+    println!(
+        "SLA so far: {:.5} aggregate ({})",
+        sla.aggregate,
+        griphon::nines(sla.aggregate)
+    );
+    println!("\n{}", ctl.carrier_view());
+}

@@ -1,0 +1,73 @@
+//! Failure and restoration: cut a fiber under three live wavelengths,
+//! watch the alarm storm get localized to a root cause, and compare
+//! GRIPhoN's automated restoration against today's wait-for-the-repair-
+//! crew reality.
+//!
+//! ```sh
+//! cargo run --example failure_restoration
+//! ```
+
+use griphon::controller::{Controller, ControllerConfig};
+use griphon::ConnState;
+use photonic::{LineRate, PhotonicNetwork};
+use simcore::{DataRate, SimDuration};
+
+fn scenario(auto_restore: bool) -> (Controller, Vec<griphon::ConnectionId>) {
+    let (net, ids) = PhotonicNetwork::testbed(8);
+    let mut ctl = Controller::new(
+        net,
+        ControllerConfig {
+            auto_restore,
+            ..ControllerConfig::default()
+        },
+    );
+    let csp = ctl.tenants.register("acme-cloud", DataRate::from_gbps(100));
+    let conns: Vec<_> = (0..3)
+        .map(|_| {
+            ctl.request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+                .unwrap()
+        })
+        .collect();
+    ctl.run_until_idle();
+    // The backhoe strikes the direct I–IV fiber.
+    ctl.inject_fiber_cut(ids.f_i_iv, 0);
+    // Either way, the crew takes 8 hours.
+    ctl.schedule_repair(ids.f_i_iv, SimDuration::from_hours(8));
+    (ctl, conns)
+}
+
+fn main() {
+    println!("=== GRIPhoN: automated restoration ===");
+    let (mut ctl, conns) = scenario(true);
+    ctl.run_until_idle();
+    for id in &conns {
+        let c = ctl.connection(*id).unwrap();
+        assert_eq!(c.state, ConnState::Active);
+        println!(
+            "  {id}: outage {} (restored over {} hops)",
+            c.outage_total,
+            c.wavelength_plan().unwrap().hops()
+        );
+    }
+    println!("\nfault-management trace:");
+    for e in ctl.trace.in_category("fault") {
+        println!("  {e}");
+    }
+    println!(
+        "\nalarms correlated: {}",
+        ctl.metrics.counter("fault.alarms").get()
+    );
+
+    println!("\n=== Today's reality: manual repair ===");
+    let (mut manual, conns) = scenario(false);
+    manual.run_until_idle();
+    for id in &conns {
+        let c = manual.connection(*id).unwrap();
+        println!(
+            "  {id}: outage {} ({:.1} hours)",
+            c.outage_total,
+            c.outage_total.as_secs_f64() / 3600.0
+        );
+    }
+    println!("\nGRIPhoN turned an 8-hour outage into about a minute per circuit.");
+}

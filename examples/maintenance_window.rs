@@ -1,0 +1,83 @@
+//! Planned maintenance with bridge-and-roll: drain a fiber that carries
+//! live wavelengths, watch every connection move almost hitlessly, do
+//! the maintenance, return the fiber to service, and re-groom.
+//!
+//! ```sh
+//! cargo run --example maintenance_window
+//! ```
+
+use griphon::controller::{Controller, ControllerConfig};
+use photonic::{FiberState, LineRate, PhotonicNetwork};
+use simcore::DataRate;
+
+fn main() {
+    let (net, ids) = PhotonicNetwork::testbed(8);
+    let mut ctl = Controller::new(net, ControllerConfig::default());
+    let csp = ctl.tenants.register("acme-cloud", DataRate::from_gbps(100));
+
+    // Two live wavelengths on the direct I–IV fiber.
+    let conns: Vec<_> = (0..2)
+        .map(|_| {
+            ctl.request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+                .unwrap()
+        })
+        .collect();
+    ctl.run_until_idle();
+    for id in &conns {
+        println!(
+            "{id} active on {} hops",
+            ctl.connection(*id)
+                .unwrap()
+                .wavelength_plan()
+                .unwrap()
+                .hops()
+        );
+    }
+
+    // Drain the fiber: bridge-and-roll both connections away.
+    println!("\ndraining fiber I–IV for maintenance…");
+    let moved = ctl.start_fiber_maintenance(ids.f_i_iv).unwrap();
+    ctl.run_until_idle();
+    assert!(matches!(
+        ctl.net.fiber(ids.f_i_iv).state,
+        FiberState::Maintenance
+    ));
+    println!(
+        "moved {} connections; fiber now in maintenance",
+        moved.len()
+    );
+    let hit = ctl.metrics.get_histogram("maintenance.hit_ms").unwrap();
+    println!(
+        "service hit per move: mean {:.0} ms, max {:.0} ms — \"almost hitless\"",
+        hit.mean(),
+        hit.max()
+    );
+    for id in &conns {
+        let c = ctl.connection(*id).unwrap();
+        println!(
+            "  {id}: outage accumulated {}, now on {} hops",
+            c.outage_total,
+            c.wavelength_plan().unwrap().hops()
+        );
+    }
+
+    // Maintenance done: fiber back, re-groom onto the short path.
+    println!("\nmaintenance complete; returning fiber and re-grooming…");
+    ctl.end_fiber_maintenance(ids.f_i_iv);
+    for id in &conns {
+        if let Some(saved_km) = ctl.regroom(*id).unwrap() {
+            println!("  {id}: migrating back, saving {saved_km:.0} km");
+        }
+    }
+    ctl.run_until_idle();
+    for id in &conns {
+        println!(
+            "  {id}: on {} hops again",
+            ctl.connection(*id)
+                .unwrap()
+                .wavelength_plan()
+                .unwrap()
+                .hops()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Multi-tenant operation on the NSFNET backbone: three cloud providers
+//! share one GRIPhoN plant; quotas isolate them, the customer GUI shows
+//! each only its own connections, and the carrier's inventory snapshot
+//! shows the pooled view.
+//!
+//! ```sh
+//! cargo run --example multi_tenant
+//! ```
+
+use griphon::controller::{Controller, ControllerConfig};
+use griphon::{InventorySnapshot, RequestError};
+use photonic::{LineRate, PhotonicNetwork};
+use simcore::DataRate;
+
+fn main() {
+    // Continental backbone with regens (40 G has ~1,500 km reach).
+    let net = PhotonicNetwork::nsfnet(6, LineRate::Gbps10, 2);
+    let seattle = net.roadm_by_name("Seattle").unwrap();
+    let princeton = net.roadm_by_name("Princeton").unwrap();
+    let houston = net.roadm_by_name("Houston").unwrap();
+    let atlanta = net.roadm_by_name("Atlanta").unwrap();
+
+    let mut ctl = Controller::new(net, ControllerConfig::default());
+    let acme = ctl.tenants.register("acme-cloud", DataRate::from_gbps(30));
+    let bravo = ctl.tenants.register("bravo-video", DataRate::from_gbps(20));
+    let tiny = ctl
+        .tenants
+        .register("tiny-startup", DataRate::from_gbps(10));
+
+    // Acme: coast-to-coast replication pair.
+    ctl.request_wavelength(acme, seattle, princeton, LineRate::Gbps10)
+        .unwrap();
+    ctl.request_wavelength(acme, seattle, houston, LineRate::Gbps10)
+        .unwrap();
+    // Bravo: CDN fill Atlanta → Houston.
+    ctl.request_wavelength(bravo, atlanta, houston, LineRate::Gbps10)
+        .unwrap();
+    // Tiny: asks for more than its quota allows.
+    ctl.request_wavelength(tiny, seattle, princeton, LineRate::Gbps10)
+        .unwrap();
+    match ctl.request_wavelength(tiny, seattle, atlanta, LineRate::Gbps10) {
+        Err(RequestError::Admission(e)) => println!("tiny-startup refused: {e}\n"),
+        other => panic!("expected quota refusal, got {other:?}"),
+    }
+
+    ctl.run_until_idle();
+
+    // Each tenant sees only its own world.
+    for t in [acme, bravo, tiny] {
+        println!("{}", ctl.customer_view(t));
+    }
+
+    // The carrier sees the pooled inventory.
+    let snap = InventorySnapshot::capture(&ctl);
+    println!(
+        "carrier inventory: {} idle OTs, {} regens ({} in use)",
+        snap.idle_ots(),
+        snap.regens.0,
+        snap.regens.1
+    );
+    let busiest = snap
+        .fibers
+        .values()
+        .max_by_key(|f| f.lit)
+        .expect("fibers exist");
+    println!(
+        "busiest fiber: {}–{} with {}/{} wavelengths lit",
+        busiest.between.0, busiest.between.1, busiest.lit, busiest.capacity
+    );
+    println!(
+        "\nJSON snapshot excerpt:\n{}…",
+        &snap.to_json()[..400.min(snap.to_json().len())]
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the GRIPhoN reproduction workspace.
+//!
+//! Re-exports every layer so the `examples/` and cross-crate integration
+//! `tests/` at the repository root can reach the whole stack through one
+//! dependency. Library users should depend on the individual crates
+//! (`griphon`, `photonic`, `otn`, `cloud`, `simcore`) directly.
+
+#![deny(missing_docs)]
+
+pub use cloud;
+pub use griphon;
+pub use otn;
+pub use photonic;
+pub use simcore;

@@ -1,0 +1,402 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+
+use griphon::rwa::{k_shortest_paths, plan_wavelength, RwaConfig};
+use otn::{ClientSignal, OtnSwitch};
+use photonic::{LineRate, PhotonicNetwork};
+use simcore::{DataRate, DataSize, Histogram, Scheduler, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// The scheduler always delivers in non-decreasing time order, with
+    /// FIFO tiebreak, whatever the insertion order.
+    #[test]
+    fn scheduler_orders_any_insertion(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut s = Scheduler::new();
+        for (i, t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_secs(*t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut prev_t = None;
+        while let Some((t, idx)) = s.pop() {
+            prop_assert!(t >= last_time);
+            if prev_t == Some(t) {
+                // FIFO within equal timestamps: indices ascend.
+                prop_assert!(*seen_at_time.last().unwrap() < idx);
+                seen_at_time.push(idx);
+            } else {
+                seen_at_time = vec![idx];
+            }
+            prev_t = Some(t);
+            last_time = t;
+        }
+    }
+
+    /// Cancelling an arbitrary subset never delivers a cancelled event
+    /// and delivers every survivor exactly once.
+    #[test]
+    fn scheduler_cancellation(spec in prop::collection::vec((0u64..100, any::<bool>()), 1..100)) {
+        let mut s = Scheduler::new();
+        let mut expect = Vec::new();
+        let mut cancel_ids = Vec::new();
+        for (i, (t, cancel)) in spec.iter().enumerate() {
+            let id = s.schedule_at(SimTime::from_secs(*t), i);
+            if *cancel {
+                cancel_ids.push(id);
+            } else {
+                expect.push(i);
+            }
+        }
+        for id in cancel_ids {
+            prop_assert!(s.cancel(id));
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = s.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// size / rate round-trips: transferring `size.time_at(rate)` at
+    /// `rate` moves at least `size` (within integer rounding).
+    #[test]
+    fn rate_size_roundtrip(bytes in 1u64..u64::MAX / 16, gbps in 1u64..400) {
+        let size = DataSize::from_bytes(bytes);
+        let rate = DataRate::from_gbps(gbps);
+        let t = size.time_at(rate);
+        let moved = rate.over(t + SimDuration::from_nanos(1));
+        prop_assert!(moved >= size, "moved {moved} < {size}");
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantile_bounds(values in prop::collection::vec(0.0f64..1e9, 1..500)) {
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q25 <= q50 + 1e-9);
+        prop_assert!(q50 <= q99 + 1e-9);
+        prop_assert!(q99 <= h.max() + 1e-9);
+        prop_assert!(h.min() <= q25 + 1e-9);
+    }
+
+    /// Erlang-B stays in [0,1], decreases in servers, increases in load.
+    #[test]
+    fn erlang_b_properties(a in 0.1f64..50.0, n in 1usize..60) {
+        use griphon::planning::erlang_b;
+        let b = erlang_b(a, n);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(erlang_b(a, n + 1) <= b + 1e-12);
+        prop_assert!(erlang_b(a + 1.0, n) >= b - 1e-12);
+    }
+
+    /// Every RWA plan on NSFNET is well-formed: contiguous loop-free
+    /// path, on-grid wavelength free end to end, endpoint OTs idle and
+    /// local, regens only at intermediate nodes.
+    #[test]
+    fn rwa_plans_are_well_formed(from_i in 0usize..14, to_i in 0usize..14, rate_i in 0usize..2) {
+        prop_assume!(from_i != to_i);
+        let rate = [LineRate::Gbps10, LineRate::Gbps40][rate_i];
+        let net = PhotonicNetwork::nsfnet(4, rate, 3);
+        let from = net.roadm_ids().nth(from_i).unwrap();
+        let to = net.roadm_ids().nth(to_i).unwrap();
+        if let Ok(plan) = plan_wavelength(&net, &RwaConfig::default(), from, to, rate, &[]) {
+            let nodes = net.node_sequence(from, &plan.path);
+            prop_assert_eq!(*nodes.last().unwrap(), to);
+            // Loop-free.
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), nodes.len());
+            // Wavelength continuity.
+            for f in &plan.path {
+                prop_assert!(net.lambda_free_on_fiber(*f, plan.lambda));
+            }
+            // OTs at the right places, idle, right rate.
+            let src = net.transponder(plan.ot_src);
+            let dst = net.transponder(plan.ot_dst);
+            prop_assert_eq!(src.location, from);
+            prop_assert_eq!(dst.location, to);
+            prop_assert!(src.is_idle() && dst.is_idle());
+            prop_assert_eq!(src.rate, rate);
+            // Regens strictly at intermediate nodes.
+            for r in &plan.regens {
+                let loc = net.regen(*r).location;
+                prop_assert!(nodes[1..nodes.len() - 1].contains(&loc));
+            }
+        }
+    }
+
+    /// Yen's paths are distinct, loop-free, and sorted by length.
+    #[test]
+    fn yen_paths_sorted_distinct(from_i in 0usize..14, to_i in 0usize..14, k in 1usize..6) {
+        prop_assume!(from_i != to_i);
+        let net = PhotonicNetwork::nsfnet(0, LineRate::Gbps10, 0);
+        let from = net.roadm_ids().nth(from_i).unwrap();
+        let to = net.roadm_ids().nth(to_i).unwrap();
+        let paths = k_shortest_paths(&net, from, to, k);
+        prop_assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            prop_assert!(net.path_km(&w[0]) <= net.path_km(&w[1]) + 1e-9);
+            prop_assert_ne!(&w[0], &w[1]);
+        }
+        for p in &paths {
+            let nodes = net.node_sequence(from, p);
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), nodes.len(), "loop in path");
+        }
+    }
+
+    /// OTN switch slot accounting: arbitrary connect/disconnect
+    /// sequences conserve tributary slots exactly.
+    #[test]
+    fn otn_slot_conservation(ops in prop::collection::vec((any::<bool>(), 0usize..8), 1..100)) {
+        let mut sw = OtnSwitch::new(
+            otn::switch::OtnSwitchId::new(0),
+            photonic::RoadmId::new(0),
+            DataRate::from_gbps(320),
+        );
+        let line = sw.add_line_port(LineRate::Gbps10);
+        let mut live: Vec<otn::XcId> = Vec::new();
+        let mut expected_used = 0usize;
+        for (connect, pick) in ops {
+            if connect {
+                let client = sw.add_client_port(ClientSignal::GbE);
+                match sw.connect_client_to_line(client, line) {
+                    Ok(xc) => {
+                        live.push(xc);
+                        expected_used += 1;
+                    }
+                    Err(_) => prop_assert_eq!(expected_used, 8, "only full port may refuse"),
+                }
+            } else if !live.is_empty() {
+                let xc = live.remove(pick % live.len());
+                sw.disconnect(xc).unwrap();
+                expected_used -= 1;
+            }
+            prop_assert_eq!(sw.free_ts(line), 8 - expected_used);
+        }
+    }
+
+    /// Transfers conserve bytes under arbitrary rate schedules.
+    #[test]
+    fn transfer_conservation(steps in prop::collection::vec((0u64..50, 1u64..600), 1..50)) {
+        use cloud::{BulkJob, Transfer};
+        let job = BulkJob {
+            id: cloud::JobId::new(0),
+            from: cloud::DataCenterId::new(0),
+            to: cloud::DataCenterId::new(1),
+            size: DataSize::from_gigabytes(100),
+            created: SimTime::ZERO,
+            deadline: None,
+        };
+        let mut t = Transfer::new(job.clone());
+        let mut now = SimTime::ZERO;
+        for (gbps, secs) in steps {
+            t.advance(now, SimDuration::from_secs(secs), DataRate::from_gbps(gbps));
+            now += SimDuration::from_secs(secs);
+            prop_assert!(t.remaining <= job.size);
+            if let Some(done) = t.completed {
+                prop_assert!(done <= now);
+                prop_assert!(t.remaining.is_zero());
+            }
+        }
+    }
+
+    /// ROADM configuration under arbitrary connect/disconnect sequences:
+    /// a (degree, λ) is never double-assigned, and disconnecting always
+    /// returns exactly what connecting took.
+    #[test]
+    fn roadm_invariants_under_churn(
+        ops in prop::collection::vec((any::<bool>(), 0u16..8, 0u8..3), 1..150)
+    ) {
+        use photonic::roadm::{Roadm, RoadmId};
+        use photonic::{ChannelGrid, FiberId, Wavelength};
+        let mut r = Roadm::new(RoadmId::new(0), ChannelGrid::C_BAND_40);
+        let d0 = r.add_degree(FiberId::new(0));
+        let d1 = r.add_degree(FiberId::new(1));
+        let d2 = r.add_degree(FiberId::new(2));
+        let degs = [d0, d1, d2];
+        // Shadow model: set of (degree, λ) in use via express pairs.
+        let mut live: Vec<(photonic::Wavelength, photonic::DegreeId, photonic::DegreeId)> =
+            Vec::new();
+        for (connect, w_raw, d_pick) in ops {
+            let w = Wavelength(w_raw);
+            let (da, db) = match d_pick {
+                0 => (d0, d1),
+                1 => (d1, d2),
+                _ => (d0, d2),
+            };
+            if connect {
+                let expect_ok = r.lambda_free(da, w) && r.lambda_free(db, w);
+                let got = r.connect_express(w, da, db);
+                prop_assert_eq!(got.is_ok(), expect_ok);
+                if expect_ok {
+                    live.push((w, da, db));
+                }
+            } else if let Some(i) = live.iter().position(|(lw, _, _)| *lw == w) {
+                let (lw, la, lb) = live.remove(i);
+                r.disconnect_express(lw, la, lb).unwrap();
+            }
+            // Invariant: lit count per degree equals the shadow model.
+            for d in degs {
+                let model = live.iter().filter(|(_, a, b)| *a == d || *b == d).count();
+                prop_assert_eq!(r.lit_count(d), model);
+            }
+        }
+        // Full drain leaves everything free.
+        for (w, a, b) in live.drain(..) {
+            r.disconnect_express(w, a, b).unwrap();
+        }
+        for d in degs {
+            prop_assert_eq!(r.lit_count(d), 0);
+        }
+    }
+
+    /// The deterministic RNG's below() is always in range and shuffle
+    /// always permutes.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(n) < n);
+        }
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// 1+1 plans are always fully disjoint in fibers and endpoint OTs,
+    /// on arbitrary NSFNET endpoints.
+    #[test]
+    fn protection_pairs_always_disjoint(from_i in 0usize..14, to_i in 0usize..14) {
+        prop_assume!(from_i != to_i);
+        use griphon::controller::{Controller, ControllerConfig};
+        use griphon::connection::Resources;
+        let net = PhotonicNetwork::nsfnet(4, LineRate::Gbps10, 2);
+        let from = net.roadm_ids().nth(from_i).unwrap();
+        let to = net.roadm_ids().nth(to_i).unwrap();
+        let mut ctl = Controller::new(net, ControllerConfig::default());
+        let csp = ctl.tenants.register("t", DataRate::from_gbps(1000));
+        if let Ok(id) = ctl.request_protected_wavelength(csp, from, to, LineRate::Gbps10) {
+            let c = ctl.connection(id).unwrap();
+            let Some(Resources::Protected { working, protect, .. }) = &c.resources else {
+                panic!("protected resources expected");
+            };
+            for f in &working.path {
+                prop_assert!(!protect.path.contains(f), "legs share {f}");
+            }
+            prop_assert_ne!(working.ot_src, protect.ot_src);
+            prop_assert_ne!(working.ot_dst, protect.ot_dst);
+            for r in &working.regens {
+                prop_assert!(!protect.regens.contains(r), "legs share regen");
+            }
+        }
+    }
+
+    /// Calendar admission never lets overlapping bookings exceed the
+    /// pair capacity, for arbitrary booking sequences.
+    #[test]
+    fn calendar_never_overbooks(
+        bookings in prop::collection::vec((0u64..100, 1u64..50, 1u64..30), 1..40)
+    ) {
+        use griphon::controller::{Controller, ControllerConfig};
+        use griphon::ReservationState;
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let mut ctl = Controller::new(net, ControllerConfig::default());
+        let csp = ctl.tenants.register("t", DataRate::from_gbps(100_000));
+        let cap = DataRate::from_gbps(40);
+        ctl.set_booking_capacity(ids.i, ids.iv, cap);
+        let mut accepted: Vec<(u64, u64, u64)> = Vec::new();
+        for (start_h, len_h, gbps) in bookings {
+            let start = SimTime::from_secs((start_h + 1) * 3600);
+            let end = start + SimDuration::from_secs(len_h * 3600);
+            if ctl
+                .reserve_bandwidth(csp, ids.i, ids.iv, DataRate::from_gbps(gbps), start, end)
+                .is_ok()
+            {
+                accepted.push((start_h + 1, start_h + 1 + len_h, gbps));
+            }
+        }
+        // Check capacity at every hour boundary.
+        for h in 0..200u64 {
+            let committed: u64 = accepted
+                .iter()
+                .filter(|(s, e, _)| *s <= h && h < *e)
+                .map(|(_, _, g)| *g)
+                .sum();
+            prop_assert!(
+                committed <= 40,
+                "hour {h}: {committed} G booked over 40 G cap"
+            );
+        }
+        // Bookings really exist.
+        let booked = ctl
+            .reservation(griphon::ReservationId::new(0))
+            .map(|r| matches!(r.state, ReservationState::Booked));
+        if !accepted.is_empty() {
+            prop_assert_eq!(booked, Some(true));
+        }
+    }
+
+    /// Controller invariant under random order/teardown interleavings on
+    /// the testbed: tenant accounting and transponder pools always
+    /// reconcile after the dust settles, whatever succeeded or failed.
+    #[test]
+    fn controller_accounting_reconciles(script in prop::collection::vec((0u8..4, 0u8..4), 1..25)) {
+        use griphon::controller::{Controller, ControllerConfig};
+        use griphon::ConnState;
+        let (net, ids) = PhotonicNetwork::testbed(3);
+        let mut ctl = Controller::new(net, ControllerConfig::default());
+        let csp = ctl.tenants.register("t", DataRate::from_gbps(1_000));
+        let nodes = [ids.i, ids.ii, ids.iii, ids.iv];
+        let mut conns = Vec::new();
+        for (a, b) in script {
+            if a == b {
+                // Interpret as a teardown of the oldest live connection.
+                if let Some(id) = conns.pop() {
+                    let _ = ctl.request_teardown(id);
+                }
+            } else if let Ok(id) = ctl.request_wavelength(
+                csp,
+                nodes[a as usize],
+                nodes[b as usize],
+                LineRate::Gbps10,
+            ) {
+                conns.push(id);
+            }
+        }
+        ctl.run_until_idle();
+        // Quota in use must equal 10 G × live connections.
+        let live = ctl
+            .connections()
+            .filter(|c| matches!(c.state, ConnState::Active))
+            .count() as u64;
+        prop_assert_eq!(
+            ctl.tenants.get(csp).unwrap().in_use,
+            DataRate::from_gbps(10 * live)
+        );
+        // Every non-idle OT belongs to a live connection (2 per conn).
+        let busy_ots = ctl
+            .net
+            .transponder_ids()
+            .filter(|t| !ctl.net.transponder(*t).is_idle())
+            .count();
+        prop_assert_eq!(busy_ots as u64, 2 * live);
+    }
+}

@@ -1,0 +1,42 @@
+//! The shipped `scenarios/*.json` files must always parse and run —
+//! they are documentation that executes.
+
+use std::fs;
+
+fn run_file(path: &str) -> String {
+    let json = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    griphon_bench::scenario::run_json(&json).unwrap_or_else(|e| panic!("run {path}: {e}"))
+}
+
+#[test]
+fn testbed_outage_scenario_runs() {
+    let out = run_file("scenarios/testbed_outage.json");
+    assert!(out.contains("CUT I–IV"), "{out}");
+    assert!(out.contains("maintenance done I–III"), "{out}");
+    // Both reports present plus the final state.
+    assert_eq!(out.matches("===== report at").count(), 2);
+    assert!(out.contains("===== final state"));
+    // The 1+1 circuit's 50 ms switchover shows in the metrics.
+    assert!(out.contains("protection.switch_ms"), "{out}");
+}
+
+#[test]
+fn backbone_week_scenario_runs() {
+    let out = run_file("scenarios/backbone_week.json");
+    assert!(out.contains("Seattle"), "{out}");
+    assert!(out.contains("CUT Lincoln–Champaign"));
+    assert!(out.contains("===== final state at t+168h00m00s"), "{out}");
+    // All three circuits end the week up.
+    let final_part = out.split("===== final state").last().unwrap();
+    assert_eq!(final_part.matches("[up]").count(), 3, "{final_part}");
+}
+
+#[test]
+fn shipped_scenarios_are_deterministic() {
+    for f in [
+        "scenarios/testbed_outage.json",
+        "scenarios/backbone_week.json",
+    ] {
+        assert_eq!(run_file(f), run_file(f), "{f} must replay identically");
+    }
+}
