@@ -35,16 +35,21 @@ impl Ds1 {
         DataRate::from_bps(Self::RATE.bps() * self.0 as u64)
     }
 
-    /// Smallest n×DS1 group carrying `demand`, if it stays below DS3
-    /// (the W-DCS ceiling — larger demands move up a layer).
+    /// The DS3 line rate (44.736 Mbps) — the W-DCS service ceiling.
+    pub const DS3_RATE: DataRate = DataRate::from_bps(44_736_000);
+
+    /// Smallest n×DS1 group carrying `demand`, if the demand stays below
+    /// the DS3 *rate* (the W-DCS ceiling — faster demands move up a
+    /// layer). The group may span DS3 uplinks: a 44 Mbps demand needs 29
+    /// DS1s, one more than a single DS3 carries, and is still a W-DCS
+    /// service; whether the node has uplink capacity for it is the
+    /// provisioning check, not the categorization.
     pub fn group_for(demand: DataRate) -> Option<Ds1> {
-        let n = demand.bps().div_ceil(Self::RATE.bps()) as u32;
-        let n = n.max(1);
-        if n < Self::PER_DS3 {
-            Some(Ds1(n))
-        } else {
-            None
+        if demand.bps() >= Self::DS3_RATE.bps() {
+            return None;
         }
+        let n = demand.bps().div_ceil(Self::RATE.bps()) as u32;
+        Some(Ds1(n.max(1)))
     }
 }
 

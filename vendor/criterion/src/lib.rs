@@ -1,0 +1,252 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-facing API surface this workspace uses
+//! (`benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!`) with a simple wall-clock harness:
+//! calibrate an iteration count per sample, take `sample_size` samples,
+//! report the median time per iteration. No plots, no statistics beyond
+//! median/min/max, no baseline persistence — callers that need machine
+//! readable output should use [`Sample::median_ns`] via
+//! [`Criterion::take_results`].
+
+#![deny(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The vendored harness treats
+/// all sizes identically (one setup per measured iteration, setup time
+/// excluded from the sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Fully qualified benchmark id (`group/name`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per sample used for measurement.
+    pub iters_per_sample: u64,
+}
+
+/// Timing loop driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Iterations used per sample (set after measurement).
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure a routine whose cost is the whole closure body.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Measure a routine with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Time setup+routine and setup alone; subtracting would add noise,
+        // so instead measure routine directly on pre-built inputs, one
+        // setup per iteration outside the timed region.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let iters = self.calibrate_batched(&mut setup, &mut routine);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.iters = iters as u64;
+    }
+
+    fn calibrate_batched<I, S: FnMut() -> I, R: FnMut(I) -> O, O>(
+        &self,
+        setup: &mut S,
+        routine: &mut R,
+    ) -> usize {
+        let start = Instant::now();
+        black_box(routine(setup()));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        ((per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as usize
+    }
+
+    fn run<F: FnMut()>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            routine();
+            warm_iters += 1;
+        }
+        // Calibrate iterations per sample from the warm-up rate.
+        let rate = (warm_iters.max(1) as f64) / self.warm_up_time.as_secs_f64().max(1e-9);
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((rate * per_sample) as u64).clamp(1, 100_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            iters: 0,
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let sample = Sample {
+            id: id.clone(),
+            median_ns: median,
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            max_ns: sorted.last().copied().unwrap_or(0.0),
+            iters_per_sample: b.iters,
+        };
+        println!(
+            "{id:<50} median {:>12} /iter  (min {}, max {}, {} iters/sample)",
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+            sample.iters_per_sample
+        );
+        self.criterion.results.push(sample);
+        self
+    }
+
+    /// Finish the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Drain the measured results (for machine-readable exporters).
+    pub fn take_results(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

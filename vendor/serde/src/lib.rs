@@ -1,0 +1,596 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment for this repository is air-gapped, so the real
+//! crates.io `serde` cannot be fetched. This crate provides the subset the
+//! workspace actually uses — `Serialize`/`Deserialize` derives and the
+//! trait machinery behind them — built on a simple *value tree* model
+//! (`Content`) instead of serde's visitor architecture. `serde_json` (also
+//! vendored) converts `Content` to and from JSON text.
+//!
+//! The API is intentionally source-compatible with the call sites in this
+//! workspace (`#[derive(Serialize, Deserialize)]`, `#[serde(...)]`
+//! attributes, `serde_json::to_string_pretty`/`from_str`), not with the
+//! full serde ecosystem.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value tree.
+///
+/// This plays the role of serde's data model: `Serialize` produces a
+/// `Content`, `Deserialize` consumes one, and format crates (the vendored
+/// `serde_json`) render it to and from text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (anything that fits in `u64`).
+    U64(u64),
+    /// Signed negative integer.
+    I64(i64),
+    /// 128-bit unsigned integer (wavelength occupancy masks).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, tuple structs).
+    Seq(Vec<Content>),
+    /// Key/value map (structs and maps). Keys need not be strings; format
+    /// crates decide how to render non-string keys.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// View this content as a struct/map entry list.
+    pub fn as_entries(&self, what: &str) -> Result<&[(Content, Content)], DeError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError::custom(format!(
+                "expected map for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// View this content as a sequence.
+    pub fn as_seq(&self, what: &str) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(DeError::custom(format!(
+                "expected sequence for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// View this content as a string slice.
+    pub fn as_str(&self, what: &str) -> Result<&str, DeError> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError::custom(format!(
+                "expected string for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short human-readable tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::U128(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Look up a field by name in a struct's entry list.
+pub fn content_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError::custom(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    /// Produce the value tree for `self`.
+    fn serialize(&self) -> Content;
+}
+
+/// A type that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from a content tree.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+
+    /// Called by derived impls when a struct field is absent and has no
+    /// `#[serde(default)]`. `Option<T>` overrides this to yield `None`,
+    /// matching serde's behavior for missing optional fields.
+    fn deserialize_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let n: u64 = match content {
+                    Content::U64(n) => *n,
+                    Content::I64(n) if *n >= 0 => *n as u64,
+                    Content::U128(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer overflow"))?,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let n: i64 = match content {
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer overflow"))?,
+                    Content::I64(n) => *n,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Content {
+        if let Ok(small) = u64::try_from(*self) {
+            Content::U64(small)
+        } else {
+            Content::U128(*self)
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::U64(n) => Ok(*n as u128),
+            Content::I64(n) if *n >= 0 => Ok(*n as u128),
+            Content::U128(n) => Ok(*n),
+            // Large masks round-trip through JSON as decimal strings.
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| DeError::custom("invalid u128 string")),
+            other => Err(DeError::custom(format!(
+                "expected u128, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    other => Err(DeError::custom(format!(
+                        "expected float, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let s = content.as_str("char")?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content.as_str("String")?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        // Owned input cannot be borrowed; leak the (tiny, rare) string so
+        // `&'static str` fields keep compiling like they do on real serde.
+        Ok(Box::leak(
+            content.as_str("&str")?.to_string().into_boxed_str(),
+        ))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_seq("Vec")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize(content)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let items = content.as_seq("tuple")?;
+                let expect = [$(stringify!($idx)),+].len();
+                if items.len() != expect {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expect}, found sequence of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    iter: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Content {
+    Content::Map(iter.map(|(k, v)| (k.serialize(), v.serialize())).collect())
+}
+
+fn deserialize_entries<K: Deserialize, V: Deserialize>(
+    content: &Content,
+) -> Result<Vec<(K, V)>, DeError> {
+    match content {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect(),
+        // Maps with non-string keys render as sequences of [key, value]
+        // pairs in JSON; accept that shape on the way back in.
+        Content::Seq(items) => items
+            .iter()
+            .map(|pair| {
+                let kv = pair.as_seq("map entry")?;
+                if kv.len() != 2 {
+                    return Err(DeError::custom("map entry must be a [key, value] pair"));
+                }
+                Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+            })
+            .collect(),
+        other => Err(DeError::custom(format!(
+            "expected map, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(deserialize_entries(content)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Content {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(deserialize_entries(content)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_seq("set")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_seq("set")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq("VecDeque")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()).unwrap(), some);
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()).unwrap(), none);
+        assert_eq!(Option::<u32>::deserialize_missing("x").unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_and_map_roundtrip() {
+        let m: BTreeMap<(u8, u8), String> =
+            [((1, 2), "a".to_string()), ((3, 4), "b".to_string())].into();
+        let back = BTreeMap::<(u8, u8), String>::deserialize(&m.serialize()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn u128_large_values_roundtrip() {
+        for v in [0u128, u64::MAX as u128, u128::MAX, 1u128 << 97] {
+            assert_eq!(u128::deserialize(&v.serialize()).unwrap(), v);
+        }
+    }
+}

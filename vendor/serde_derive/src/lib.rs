@@ -1,0 +1,544 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde` crate, by hand-parsing the item's token
+//! stream (the real `syn`/`quote` stack is unavailable offline). Supports
+//! the shapes this workspace uses: named/tuple/unit structs and
+//! externally-tagged enums, plus the attribute subset
+//! `#[serde(rename_all = "snake_case")]`, `#[serde(rename = "...")]`,
+//! `#[serde(default)]`, and `#[serde(default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field parse result.
+struct Field {
+    /// Rust field identifier.
+    name: String,
+    /// Serialized key (after `rename` / `rename_all`).
+    key: String,
+    /// `None` = required; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    tag: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    default: Option<Option<String>>,
+}
+
+fn lit_str(tok: &TokenTree) -> String {
+    let s = tok.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Parse the items inside one `#[serde(...)]` group into `attrs`.
+fn parse_serde_attr(group: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let has_value = matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value { toks.get(i + 2) } else { None };
+        match key.as_str() {
+            "rename" => attrs.rename = value.map(lit_str),
+            "rename_all" => attrs.rename_all = value.map(lit_str),
+            "default" => attrs.default = Some(value.map(lit_str)),
+            // Anything else (skip, deny_unknown_fields, ...) is not used in
+            // this workspace; fail loudly rather than mis-serialize.
+            other => panic!("vendored serde_derive: unsupported attribute `{other}`"),
+        }
+        i += if has_value { 3 } else { 1 };
+        // Skip a separating comma if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes at `i`, folding any `#[serde(...)]`
+/// contents into the returned attrs.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("vendored serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_attr(args.stream(), &mut attrs);
+                }
+            }
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+/// Skip an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type at `i`, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn apply_rename(name: &str, rename: &Option<String>, rename_all: &Option<String>) -> String {
+    if let Some(r) = rename {
+        return r.clone();
+    }
+    match rename_all.as_deref() {
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("vendored serde_derive: unsupported rename_all `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+/// Parse named fields from the token stream of a brace group.
+fn parse_named_fields(stream: TokenStream, rename_all: &Option<String>) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!("vendored serde_derive: expected field name");
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        i += 1; // ',' (or past end)
+        let key = apply_rename(&name, &attrs.rename, rename_all);
+        fields.push(Field {
+            name,
+            key,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Count the top-level comma-separated entries of a paren group (tuple
+/// struct / tuple variant fields).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream, rename_all: &Option<String>) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!("vendored serde_derive: expected variant name");
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream(), &None))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if ever present, then the comma.
+        while i < toks.len()
+            && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1;
+        let tag = apply_rename(&name, &attrs.rename, rename_all);
+        variants.push(Variant { name, tag, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container = take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let Some(TokenTree::Ident(name)) = toks.get(i) else {
+        panic!("vendored serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream(), &container.rename_all),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream(), &container.rename_all),
+            },
+            _ => panic!("vendored serde_derive: malformed enum"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn str_content(key: &str) -> String {
+    format!("::serde::Content::Str(::std::string::String::from({key:?}))")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::serialize(&self.{}))",
+                        str_content(&f.key),
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n\
+             ::serde::Serialize::serialize(&self.0)\n}}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Seq(::std::vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = str_content(&v.tag);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{} => {tag},", v.name)
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{}(__f0) => ::serde::Content::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::serialize(__f0))]),",
+                            v.name
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{}({}) => ::serde::Content::Map(::std::vec![({tag}, \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                v.name,
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::serialize({}))",
+                                        str_content(&f.key),
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{} {{ {} }} => ::serde::Content::Map(::std::vec![({tag}, \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                v.name,
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// The expression filling one named field during deserialization.
+fn field_expr(f: &Field, entries_var: &str) -> String {
+    let missing = match &f.default {
+        None => format!("::serde::Deserialize::deserialize_missing({:?})?", f.key),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "{}: match ::serde::content_get({entries_var}, {:?}) {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+         ::std::option::Option::None => {missing},\n}}",
+        f.name, f.key
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = |name: &str, body: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__content: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+        )
+    };
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(f, "__entries")).collect();
+            header(
+                name,
+                &format!(
+                    "let __entries = __content.as_entries({name:?})?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => header(
+            name,
+            &format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__content)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            header(
+                name,
+                &format!(
+                    "let __items = __content.as_seq({name:?})?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected {arity} elements for {name}, found {{}}\", \
+                     __items.len())));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => header(
+            name,
+            &format!("let _ = __content; ::std::result::Result::Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.tag, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.tag, v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}(\
+                         ::serde::Deserialize::deserialize(__v)?)),",
+                        v.tag, v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{:?} => {{\n\
+                             let __items = __v.as_seq(\"{name}::{}\")?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong tuple variant arity\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{}({}))\n}}",
+                            v.tag,
+                            v.name,
+                            v.name,
+                            items.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| field_expr(f, "__ventries")).collect();
+                        format!(
+                            "{:?} => {{\n\
+                             let __ventries = __v.as_entries(\"{name}::{}\")?;\n\
+                             ::std::result::Result::Ok({name}::{} {{\n{}\n}})\n}}",
+                            v.tag,
+                            v.name,
+                            v.name,
+                            inits.join(",\n")
+                        )
+                    }
+                })
+                .collect();
+            header(
+                name,
+                &format!(
+                    "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, {name:?})),\n}},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __v) = &__m[0];\n\
+                     match __k.as_str(\"enum tag\")? {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, {name:?})),\n}}\n}}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected externally tagged {name}, found {{}}\", \
+                     __other.kind()))),\n}}",
+                    unit_arms.join("\n"),
+                    tagged_arms.join("\n")
+                ),
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (vendored value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,467 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Renders the vendored serde [`Content`] value tree to JSON text and
+//! parses JSON text back into it. Covers the API surface this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], and [`Error`].
+//!
+//! Encoding notes (internally consistent; both directions are implemented
+//! here):
+//! - Maps whose keys are all strings render as JSON objects; maps with
+//!   structured keys render as arrays of `[key, value]` pairs.
+//! - `u128` values wider than `u64` render as decimal strings.
+//! - Non-finite floats are a serialization error (JSON has no NaN/Inf).
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Writer {
+    out: String,
+    /// `None` = compact, `Some(n)` = pretty with current indent depth `n`.
+    indent: Option<usize>,
+}
+
+impl Writer {
+    fn newline(&mut self) {
+        if let Some(depth) = self.indent {
+            self.out.push('\n');
+            for _ in 0..depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        if let Some(d) = self.indent.as_mut() {
+            *d += 1;
+        }
+    }
+
+    fn close(&mut self, c: char, empty: bool) {
+        if let Some(d) = self.indent.as_mut() {
+            *d -= 1;
+        }
+        if !empty {
+            self.newline();
+        }
+        self.out.push(c);
+    }
+
+    fn sep(&mut self) {
+        self.out.push(',');
+        if self.indent.is_none() {
+            // compact: no space, same as serde_json
+        }
+        self.newline();
+    }
+
+    fn write(&mut self, c: &Content) -> Result<(), Error> {
+        match c {
+            Content::Null => self.out.push_str("null"),
+            Content::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            Content::U64(n) => self.out.push_str(&n.to_string()),
+            Content::I64(n) => self.out.push_str(&n.to_string()),
+            Content::U128(n) => {
+                if let Ok(small) = u64::try_from(*n) {
+                    self.out.push_str(&small.to_string());
+                } else {
+                    write_escaped(&mut self.out, &n.to_string());
+                }
+            }
+            Content::F64(f) => {
+                if !f.is_finite() {
+                    return Err(Error::new("JSON cannot represent non-finite floats"));
+                }
+                // Rust's shortest round-trip float formatting; integral
+                // values print without a fraction and parse back as
+                // integers, which numeric Deserialize impls accept.
+                self.out.push_str(&f.to_string());
+            }
+            Content::Str(s) => write_escaped(&mut self.out, s),
+            Content::Seq(items) => {
+                self.open('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i == 0 {
+                        self.newline();
+                    } else {
+                        self.sep();
+                    }
+                    self.write(item)?;
+                }
+                self.close(']', items.is_empty());
+            }
+            Content::Map(entries) => {
+                let all_string_keys = entries.iter().all(|(k, _)| matches!(k, Content::Str(_)));
+                if all_string_keys {
+                    self.open('{');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i == 0 {
+                            self.newline();
+                        } else {
+                            self.sep();
+                        }
+                        self.write(k)?;
+                        self.out.push_str(": ");
+                        self.write(v)?;
+                    }
+                    self.close('}', entries.is_empty());
+                } else {
+                    self.open('[');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i == 0 {
+                            self.newline();
+                        } else {
+                            self.sep();
+                        }
+                        self.out.push('[');
+                        self.write(k)?;
+                        self.out.push_str(", ");
+                        self.write(v)?;
+                        self.out.push(']');
+                    }
+                    self.close(']', entries.is_empty());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn render(content: &Content, pretty: bool) -> Result<String, Error> {
+    let mut w = Writer {
+        out: String::new(),
+        indent: if pretty { Some(0) } else { None },
+    };
+    w.write(content)?;
+    Ok(w.out)
+}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    render(&value.serialize(), false)
+}
+
+/// Serialize a value to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    render(&value.serialize(), true)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::I64(i));
+            }
+            if let Ok(u) = text.parse::<u128>() {
+                return Ok(Content::U128(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(T::deserialize(&content)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "a\"b\\c\nd\tü€".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_collections_roundtrip() {
+        let mut m: BTreeMap<String, Vec<(u32, bool)>> = BTreeMap::new();
+        m.insert("x".into(), vec![(1, true), (2, false)]);
+        m.insert("y z".into(), vec![]);
+        let json = to_string_pretty(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, Vec<(u32, bool)>>>(&json).unwrap(), m);
+        assert!(json.contains("\"x\""));
+    }
+
+    #[test]
+    fn structured_map_keys_roundtrip_as_pair_arrays() {
+        let mut m: BTreeMap<(u8, u8), u32> = BTreeMap::new();
+        m.insert((1, 2), 3);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "[[[1,2], 3]]");
+        assert_eq!(from_str::<BTreeMap<(u8, u8), u32>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn wide_u128_roundtrips_via_string() {
+        let v = u128::MAX - 5;
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<u128>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 123456789.123456] {
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), v);
+        }
+    }
+}
