@@ -1,0 +1,212 @@
+//! `bench-rwa` repro target: a machine-readable baseline comparing the
+//! indexed path engine against the seed implementation, emitted as
+//! `BENCH_rwa.json`.
+//!
+//! Two head-to-head comparisons carry the result:
+//!
+//! 1. **First-fit wavelength** — the per-degree occupancy-mask AND-reduce
+//!    (`first_free_lambda`) against the seed's nested scan over
+//!    wavelengths × fibers × endpoints, which is retained verbatim as
+//!    [`PhotonicNetwork::first_free_lambda_reference`].
+//! 2. **Wavelength planning** — a long-lived [`PathEngine`] (epoch-keyed
+//!    route cache, reusable Dijkstra scratch) against the seed's
+//!    behaviour of rebuilding all routing state on every call.
+//!
+//! Absolute timings for Yen's k-shortest paths are recorded alongside
+//! for the record. Run with `--release`; debug timings are meaningless.
+
+use std::time::Instant;
+
+use griphon::rwa::{PathEngine, RwaConfig};
+use photonic::{DegreeId, LineRate, PhotonicNetwork, Wavelength};
+use serde::Serialize;
+
+/// One timed case: mean wall time per call over `iters` calls.
+#[derive(Serialize)]
+pub struct BenchCase {
+    /// Human-readable case name.
+    pub name: String,
+    /// Number of timed iterations (after warm-up).
+    pub iters: u64,
+    /// Total wall time for all iterations, nanoseconds.
+    pub total_ns: u64,
+    /// Mean per-call time, nanoseconds.
+    pub per_call_ns: f64,
+}
+
+/// A baseline/optimised pair with the resulting speedup factor.
+#[derive(Serialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub name: String,
+    /// The seed implementation's timing.
+    pub baseline: BenchCase,
+    /// The indexed engine's timing.
+    pub optimized: BenchCase,
+    /// `baseline.per_call_ns / optimized.per_call_ns`.
+    pub speedup: f64,
+}
+
+/// The full report serialised to `BENCH_rwa.json`.
+#[derive(Serialize)]
+pub struct BenchReport {
+    /// Report name, fixed to `bench_rwa`.
+    pub benchmark: String,
+    /// Topology the cases run on.
+    pub network: String,
+    /// Seed-vs-engine comparisons; each must clear `min_speedup`.
+    pub comparisons: Vec<Comparison>,
+    /// Absolute timings with no seed counterpart.
+    pub absolute: Vec<BenchCase>,
+    /// Route-cache hits over the planning comparison.
+    pub route_cache_hits: u64,
+    /// Route-cache misses over the planning comparison.
+    pub route_cache_misses: u64,
+    /// The acceptance floor this report is checked against.
+    pub min_speedup: f64,
+}
+
+fn time_case(name: &str, iters: u64, mut f: impl FnMut()) -> BenchCase {
+    for _ in 0..iters.div_ceil(10).min(1_000) {
+        f(); // warm-up
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    BenchCase {
+        name: name.to_string(),
+        iters,
+        total_ns,
+        per_call_ns: total_ns as f64 / iters as f64,
+    }
+}
+
+fn compare(name: &str, baseline: BenchCase, optimized: BenchCase) -> Comparison {
+    let speedup = baseline.per_call_ns / optimized.per_call_ns;
+    Comparison {
+        name: name.to_string(),
+        baseline,
+        optimized,
+        speedup,
+    }
+}
+
+/// Light `w` on every fiber of `path` at both endpoints (facing degree
+/// plus the next degree round-robin), skipping anything already lit, so
+/// the first-fit scan has real occupancy to chew through.
+fn load_path(net: &mut PhotonicNetwork, path: &[photonic::FiberId], w: Wavelength) {
+    for &f in path {
+        let link = net.fiber(f);
+        let ends = [link.a, link.b];
+        for node in ends {
+            let r = net.roadm(node);
+            let d = r.degree_to(f).unwrap();
+            let d2 = DegreeId::from_index((d.index() + 1) % r.degree_count());
+            if r.lambda_free(d, w) && r.lambda_free(d2, w) {
+                net.roadm_mut(node).connect_express(w, d, d2).unwrap();
+            }
+        }
+    }
+}
+
+/// Run every case and build the report.
+pub fn run() -> BenchReport {
+    let mut net = PhotonicNetwork::nsfnet(8, LineRate::Gbps10, 2);
+    let seattle = net.roadm_by_name("Seattle").unwrap();
+    let princeton = net.roadm_by_name("Princeton").unwrap();
+    let cfg = RwaConfig::default();
+
+    let mut engine = PathEngine::new();
+    let route = engine.k_shortest_paths(&net, seattle, princeton, 1, false)[0].clone();
+    // Occupy the low 48 of 80 channels along the route so first fit has
+    // to skip a realistic amount of lit spectrum.
+    for i in 0..48u16 {
+        load_path(&mut net, &route, Wavelength(i));
+    }
+    let expect = net.first_free_lambda_reference(&route);
+    assert_eq!(net.first_free_lambda(&route), expect);
+    assert!(expect.is_some(), "route unexpectedly full");
+
+    // -- Comparison 1: first-fit wavelength, mask vs seed scan. --------
+    let ff_base = time_case("first_free_lambda_seed_scan", 200_000, || {
+        assert_eq!(net.first_free_lambda_reference(&route), expect);
+    });
+    let ff_opt = time_case("first_free_lambda_mask", 200_000, || {
+        assert_eq!(net.first_free_lambda(&route), expect);
+    });
+
+    // -- Comparison 2: planning, fresh state per call vs live engine. --
+    let pairs: Vec<_> = {
+        let ids: Vec<_> = net.roadm_ids().collect();
+        (0..ids.len())
+            .flat_map(|i| (i + 1..ids.len()).map(move |j| (i, j)))
+            .map(|(i, j)| (ids[i], ids[j]))
+            .collect()
+    };
+    let plan_base = time_case("plan_wavelength_fresh_state", 200, || {
+        for &(a, b) in &pairs {
+            // The seed rebuilt every routing structure per request.
+            let mut fresh = PathEngine::new();
+            fresh
+                .plan_wavelength(&net, &cfg, a, b, LineRate::Gbps10, &[])
+                .unwrap();
+        }
+    });
+    let mut engine = PathEngine::new();
+    let plan_opt = time_case("plan_wavelength_indexed_engine", 200, || {
+        for &(a, b) in &pairs {
+            engine
+                .plan_wavelength(&net, &cfg, a, b, LineRate::Gbps10, &[])
+                .unwrap();
+        }
+    });
+    let (hits, misses) = engine.cache_stats();
+
+    // -- Absolute: Yen coast to coast. ---------------------------------
+    let mut yen_engine = PathEngine::new();
+    let yen_k8 = time_case("yen_k8_coast_to_coast_uncached", 2_000, || {
+        let paths = yen_engine.k_shortest_paths(&net, seattle, princeton, 8, false);
+        assert_eq!(paths.len(), 8);
+    });
+
+    BenchReport {
+        benchmark: "bench_rwa".to_string(),
+        network: "nsfnet_80ch".to_string(),
+        comparisons: vec![
+            compare("first_fit_wavelength", ff_base, ff_opt),
+            compare("plan_wavelength_91_pairs", plan_base, plan_opt),
+        ],
+        absolute: vec![yen_k8],
+        route_cache_hits: hits,
+        route_cache_misses: misses,
+        min_speedup: 5.0,
+    }
+}
+
+/// Run the benchmark, write `BENCH_rwa.json` next to the working
+/// directory, and return a human-readable summary.
+pub fn emit(path: &str) -> String {
+    let report = run();
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, &json).expect("write BENCH_rwa.json");
+    let mut out = format!("wrote {path}\n");
+    for c in &report.comparisons {
+        out.push_str(&format!(
+            "  {:<28} {:>10.0} ns -> {:>9.0} ns  ({:.1}x)\n",
+            c.name, c.baseline.per_call_ns, c.optimized.per_call_ns, c.speedup
+        ));
+    }
+    for a in &report.absolute {
+        out.push_str(&format!(
+            "  {:<28} {:>10.0} ns per call\n",
+            a.name, a.per_call_ns
+        ));
+    }
+    out.push_str(&format!(
+        "  route cache: {} hits / {} misses",
+        report.route_cache_hits, report.route_cache_misses
+    ));
+    out
+}

@@ -6,6 +6,7 @@
 //! targets: table1 table2 fig1 fig2 fig3 fig4
 //!          e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite
 //!          e5-bulk e6-grooming e7-ablation e8-protection e9-planning e10-sla all
+//!          bench-rwa (writes BENCH_rwa.json)
 //! ```
 //!
 //! See `EXPERIMENTS.md` for each target's output recorded against the
@@ -35,12 +36,14 @@ fn main() {
         "e8-protection" => exp::e8_protection(),
         "e9-planning" => exp::e9_planning(),
         "e10-sla" => exp::e10_sla(),
+        "perf" => exp::perf(),
         "all" => exp::all(),
+        "bench-rwa" => griphon_bench::bench_json::emit("BENCH_rwa.json"),
         other => {
             eprintln!(
                 "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 \
                  e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite e5-bulk e5b-full-mesh \
-                 e6-grooming e7-ablation e8-protection e9-planning e10-sla all"
+                 e6-grooming e7-ablation e8-protection e9-planning e10-sla bench-rwa all"
             );
             std::process::exit(2);
         }

@@ -30,7 +30,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use simcore::{MetricsRegistry, Scheduler, SimDuration, SimRng, SimTime, TraceLog};
+use simcore::{
+    LatencyRecorder, MetricsRegistry, Scheduler, SimDuration, SimRng, SimTime, TraceLog,
+};
 
 use otn::{OtnSwitch, XcId};
 use photonic::alarm::DetectionModel;
@@ -247,6 +249,13 @@ pub struct Controller {
     pub trace: TraceLog,
     /// Experiment metrics.
     pub metrics: MetricsRegistry,
+    /// The path-computation engine (route cache + Dijkstra scratch),
+    /// shared by every planning call this controller makes.
+    pub(crate) engine: rwa::PathEngine,
+    /// Wall-clock planning latency (host time, *not* simulated time).
+    /// Kept out of `metrics` so deterministic scenario reports stay
+    /// bit-identical across runs; read it via [`Controller::perf_summary`].
+    pub perf: LatencyRecorder,
 }
 
 impl Controller {
@@ -273,8 +282,40 @@ impl Controller {
             fxc_at: BTreeMap::new(),
             trace: TraceLog::default(),
             metrics: MetricsRegistry::new(),
+            engine: rwa::PathEngine::new(),
+            perf: LatencyRecorder::new(),
             cfg,
         }
+    }
+
+    /// Plan a wavelength connection through the controller's
+    /// [`rwa::PathEngine`], recording wall-clock planning latency in
+    /// [`Controller::perf`]. All internal planning goes through here so
+    /// the route cache and scratch buffers are shared and the percentiles
+    /// cover every call.
+    pub(crate) fn plan_wavelength(
+        &mut self,
+        from: RoadmId,
+        to: RoadmId,
+        rate: photonic::LineRate,
+        excluded: &[photonic::FiberId],
+    ) -> Result<WavelengthPlan, RwaError> {
+        let t0 = std::time::Instant::now();
+        let r = self
+            .engine
+            .plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, excluded);
+        self.perf.record_ns(t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// One-line wall-clock performance summary: planning-latency
+    /// percentiles and route-cache hit rate.
+    pub fn perf_summary(&self) -> String {
+        let (hits, misses) = self.engine.cache_stats();
+        format!(
+            "plan_wavelength {} | route-cache {hits} hits / {misses} misses",
+            self.perf.summary()
+        )
     }
 
     // ── time ────────────────────────────────────────────────────────
@@ -368,7 +409,7 @@ impl Controller {
         rate: LineRate,
     ) -> Result<ConnectionId, RequestError> {
         self.tenants.admit(customer, rate.rate())?;
-        let plan = match rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &[]) {
+        let plan = match self.plan_wavelength(from, to, rate, &[]) {
             Ok(p) => p,
             Err(e) => {
                 self.tenants.release(customer, rate.rate());

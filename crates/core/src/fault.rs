@@ -36,7 +36,6 @@ use photonic::FiberId;
 
 use crate::connection::{ConnState, ConnectionId, Resources, TrunkId};
 use crate::controller::{Controller, Event, WorkflowKind};
-use crate::rwa;
 
 impl Controller {
     /// Sever a fiber at `span`. The physical outage starts immediately;
@@ -247,7 +246,7 @@ impl Controller {
                 | crate::connection::ConnectionKind::ProtectedWavelength { .. } => continue,
             };
             let excluded: Vec<FiberId> = self.down_fibers.iter().copied().collect();
-            match rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &excluded) {
+            match self.plan_wavelength(from, to, rate, &excluded) {
                 Ok(new_plan) => {
                     // Swap resources: release the dead path, claim the new.
                     let old = self.conns.get_mut(&id).and_then(|c| c.resources.take());
@@ -324,7 +323,7 @@ impl Controller {
         let t = &self.trunks[tid.index()];
         let (a, b, rate) = (t.a, t.b, t.rate);
         let excluded: Vec<FiberId> = self.down_fibers.iter().copied().collect();
-        match rwa::plan_wavelength(&self.net, &self.cfg.rwa, a, b, rate, &excluded) {
+        match self.plan_wavelength(a, b, rate, &excluded) {
             Ok(new_plan) => {
                 let old_plan = self.trunks[tid.index()].plan.clone();
                 self.release_plan(&old_plan);

@@ -28,7 +28,6 @@ use simcore::SimDuration;
 
 use crate::connection::{ConnState, ConnectionId, ConnectionKind, Resources};
 use crate::controller::{Controller, Event, RequestError, WorkflowKind};
-use crate::rwa;
 
 impl Controller {
     /// Stage a bridge for `id` on a path avoiding `excluded` fibers (the
@@ -59,7 +58,7 @@ impl Controller {
         let old_path = conn.wavelength_plan().expect("checked above").path.clone();
         let mut avoid: Vec<FiberId> = old_path;
         avoid.extend_from_slice(excluded);
-        let plan = rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &avoid)?;
+        let plan = self.plan_wavelength(from, to, rate, &avoid)?;
         self.claim_plan(&plan);
         let hops = plan.hops();
         self.conns.get_mut(&id).expect("conn exists").bridge = Some(plan);
@@ -215,7 +214,7 @@ impl Controller {
         };
         let mut avoid: Vec<FiberId> = conn.wavelength_plan().expect("active λ conn").path.clone();
         avoid.extend_from_slice(excluded);
-        let plan = rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &avoid)?;
+        let plan = self.plan_wavelength(from, to, rate, &avoid)?;
         // Outage starts now: traffic stops the moment teardown begins.
         let now = self.now();
         let teardown = self.wavelength_teardown_duration();
@@ -271,7 +270,7 @@ impl Controller {
         };
         let old_path = conn.wavelength_plan().expect("active λ conn").path.clone();
         let old_km = self.net.path_km(&old_path);
-        match rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &old_path) {
+        match self.plan_wavelength(from, to, rate, &old_path) {
             Ok(plan) => {
                 let new_km = self.net.path_km(&plan.path);
                 if new_km + 1e-9 < old_km {
@@ -311,12 +310,7 @@ impl Controller {
         &mut self,
         node: photonic::RoadmId,
     ) -> Result<(Vec<ConnectionId>, Vec<ConnectionId>), RequestError> {
-        let node_fibers: Vec<FiberId> = self
-            .net
-            .neighbors(node)
-            .into_iter()
-            .map(|(f, _)| f)
-            .collect();
+        let node_fibers: Vec<FiberId> = self.net.neighbors(node).iter().map(|&(f, _)| f).collect();
         let mut through = Vec::new();
         let mut terminating = Vec::new();
         let candidates: Vec<ConnectionId> = self

@@ -24,7 +24,6 @@ use crate::connection::{
     Connection, ConnectionId, ConnectionKind, Resources, SubWavelengthRoute, TrunkId,
 };
 use crate::controller::{Controller, Event, RequestError, Trunk, WorkflowKind};
-use crate::rwa;
 use crate::tenant::CustomerId;
 
 impl Controller {
@@ -58,7 +57,7 @@ impl Controller {
     ) -> Result<TrunkId, RequestError> {
         let sa = self.otn_switch_at(a).ok_or(RequestError::NoOtnSwitch(a))?;
         let sb = self.otn_switch_at(b).ok_or(RequestError::NoOtnSwitch(b))?;
-        let plan = rwa::plan_wavelength(&self.net, &self.cfg.rwa, a, b, rate, &[])?;
+        let plan = self.plan_wavelength(a, b, rate, &[])?;
         self.claim_plan(&plan);
         let la = self.switches[sa].add_line_port(rate);
         let lb = self.switches[sb].add_line_port(rate);

@@ -111,14 +111,13 @@ impl Controller {
     /// protect leg with the working fibers excluded and verifying the
     /// endpoint OT pools are deep enough for both.
     fn plan_protected_pair(
-        &self,
+        &mut self,
         from: RoadmId,
         to: RoadmId,
         rate: LineRate,
     ) -> Result<(WavelengthPlan, WavelengthPlan), RequestError> {
-        let working = rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &[])?;
-        let mut protect =
-            rwa::plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, &working.path)?;
+        let working = self.plan_wavelength(from, to, rate, &[])?;
+        let mut protect = self.plan_wavelength(from, to, rate, &working.path)?;
         // Distinct endpoint OTs for the second leg.
         let src_pool = self.net.idle_ots_at(from, rate);
         let dst_pool = self.net.idle_ots_at(to, rate);

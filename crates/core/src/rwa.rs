@@ -19,6 +19,12 @@
 //! - **Disjoint paths** — for 1+1 protection, bridge-and-roll and
 //!   shared-mesh backup planning, a link-disjoint second path is found by
 //!   pruning the first path's fibers and re-routing.
+//!
+//! The heavy lifting lives in [`PathEngine`]: epoch-stamped Dijkstra
+//! scratch buffers (no per-call allocation), heap-ranked hash-deduplicated
+//! Yen candidates, and a route cache invalidated for free by the
+//! network's [topology epoch](PhotonicNetwork::topology_epoch). The free
+//! functions remain as thin wrappers for one-shot callers.
 
 use photonic::{
     FiberId, LineRate, PhotonicNetwork, ReachModel, RegenId, RoadmId, TransponderId, Wavelength,
@@ -72,110 +78,102 @@ impl std::fmt::Display for RwaError {
 
 impl std::error::Error for RwaError {}
 
-/// Dijkstra by km over up fibers, with an exclusion set.
-/// Returns the fiber sequence.
-fn shortest_path_km(
-    net: &PhotonicNetwork,
-    from: RoadmId,
-    to: RoadmId,
-    excluded_fibers: &[FiberId],
-    excluded_nodes: &[RoadmId],
-) -> Option<Vec<FiberId>> {
-    use std::cmp::Reverse;
-    use std::collections::{BinaryHeap, HashMap};
-
-    // f64 km as integer metres for Ord.
-    let mut dist: HashMap<RoadmId, u64> = HashMap::new();
-    let mut prev: HashMap<RoadmId, (RoadmId, FiberId)> = HashMap::new();
-    let mut heap = BinaryHeap::new();
-    dist.insert(from, 0);
-    heap.push(Reverse((0u64, from)));
-    while let Some(Reverse((d, n))) = heap.pop() {
-        if n == to {
-            break;
-        }
-        if dist.get(&n).copied().unwrap_or(u64::MAX) < d {
-            continue;
-        }
-        for (fid, m) in net.neighbors(n) {
-            if !net.fiber(fid).is_up()
-                || excluded_fibers.contains(&fid)
-                || excluded_nodes.contains(&m)
-            {
-                continue;
-            }
-            let nd = d + (net.fiber(fid).length_km() * 1000.0) as u64;
-            if nd < dist.get(&m).copied().unwrap_or(u64::MAX) {
-                dist.insert(m, nd);
-                prev.insert(m, (n, fid));
-                heap.push(Reverse((nd, m)));
-            }
-        }
-    }
-    if !prev.contains_key(&to) && from != to {
-        return None;
-    }
-    let mut path = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let (p, f) = prev[&cur];
-        path.push(f);
-        cur = p;
-    }
-    path.reverse();
-    Some(path)
+/// Reusable Dijkstra state: distance/predecessor arrays indexed by node,
+/// exclusion marks indexed by node/fiber, and the frontier heap. Validity
+/// is tracked by an epoch *stamp* — a slot is live only if its stamp
+/// matches the current run's, so "clearing" all arrays between runs is a
+/// single counter increment, and nothing is allocated per call once the
+/// vectors have grown to the network size.
+#[derive(Debug, Default)]
+struct DijkstraScratch {
+    stamp: u64,
+    /// Distance from the source in metres; valid iff `dist_stamp` matches.
+    dist: Vec<u64>,
+    dist_stamp: Vec<u64>,
+    /// `(predecessor node, arriving fiber)`; valid iff `prev_stamp` matches.
+    prev: Vec<(RoadmId, FiberId)>,
+    prev_stamp: Vec<u64>,
+    /// A node/fiber is excluded from this run iff its mark matches.
+    node_excluded: Vec<u64>,
+    fiber_excluded: Vec<u64>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, RoadmId)>>,
 }
 
-/// Yen's algorithm: up to `k` loop-free shortest paths by km.
-pub fn k_shortest_paths(
-    net: &PhotonicNetwork,
-    from: RoadmId,
-    to: RoadmId,
-    k: usize,
-) -> Vec<Vec<FiberId>> {
-    let mut result: Vec<Vec<FiberId>> = Vec::new();
-    let Some(first) = shortest_path_km(net, from, to, &[], &[]) else {
-        return result;
-    };
-    result.push(first);
-    let mut candidates: Vec<Vec<FiberId>> = Vec::new();
-    while result.len() < k {
-        let last = result.last().unwrap().clone();
-        let last_nodes = net.node_sequence(from, &last);
-        for spur_idx in 0..last.len() {
-            let spur_node = last_nodes[spur_idx];
-            let root: Vec<FiberId> = last[..spur_idx].to_vec();
-            // Exclude fibers that would repeat a known path with this root.
-            let mut excluded_fibers: Vec<FiberId> = Vec::new();
-            for p in result.iter().chain(candidates.iter()) {
-                if p.len() > spur_idx && p[..spur_idx] == root[..] {
-                    excluded_fibers.push(p[spur_idx]);
-                }
+impl DijkstraScratch {
+    /// Dijkstra by km over up fibers, with exclusion sets. Returns the
+    /// fiber sequence. Distances use integer metres for exact `Ord`.
+    fn shortest_path(
+        &mut self,
+        net: &PhotonicNetwork,
+        from: RoadmId,
+        to: RoadmId,
+        excluded_fibers: &[FiberId],
+        excluded_nodes: &[RoadmId],
+    ) -> Option<Vec<FiberId>> {
+        use std::cmp::Reverse;
+
+        let nodes = net.roadm_count();
+        let fibers = net.fiber_count();
+        if self.dist.len() < nodes {
+            self.dist.resize(nodes, 0);
+            self.dist_stamp.resize(nodes, 0);
+            self.prev.resize(nodes, (RoadmId::new(0), FiberId::new(0)));
+            self.prev_stamp.resize(nodes, 0);
+            self.node_excluded.resize(nodes, 0);
+        }
+        if self.fiber_excluded.len() < fibers {
+            self.fiber_excluded.resize(fibers, 0);
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for f in excluded_fibers {
+            self.fiber_excluded[f.index()] = stamp;
+        }
+        for n in excluded_nodes {
+            self.node_excluded[n.index()] = stamp;
+        }
+        self.heap.clear();
+        self.dist[from.index()] = 0;
+        self.dist_stamp[from.index()] = stamp;
+        self.heap.push(Reverse((0u64, from)));
+        while let Some(Reverse((d, n))) = self.heap.pop() {
+            if n == to {
+                break;
             }
-            // Exclude root nodes to keep paths loop-free.
-            let excluded_nodes: Vec<RoadmId> = last_nodes[..spur_idx].to_vec();
-            if let Some(spur) =
-                shortest_path_km(net, spur_node, to, &excluded_fibers, &excluded_nodes)
-            {
-                let mut total = root;
-                total.extend(spur);
-                if !result.contains(&total) && !candidates.contains(&total) {
-                    candidates.push(total);
+            if self.dist_stamp[n.index()] == stamp && self.dist[n.index()] < d {
+                continue; // stale heap entry
+            }
+            for &(fid, m) in net.neighbors(n) {
+                if self.fiber_excluded[fid.index()] == stamp
+                    || self.node_excluded[m.index()] == stamp
+                    || !net.fiber(fid).is_up()
+                {
+                    continue;
+                }
+                let nd = d + (net.fiber(fid).length_km() * 1000.0) as u64;
+                let mi = m.index();
+                if self.dist_stamp[mi] != stamp || nd < self.dist[mi] {
+                    self.dist[mi] = nd;
+                    self.dist_stamp[mi] = stamp;
+                    self.prev[mi] = (n, fid);
+                    self.prev_stamp[mi] = stamp;
+                    self.heap.push(Reverse((nd, m)));
                 }
             }
         }
-        if candidates.is_empty() {
-            break;
+        if self.prev_stamp[to.index()] != stamp && from != to {
+            return None;
         }
-        // Shortest candidate next (by km, then hop count for determinism).
-        candidates.sort_by(|a, b| {
-            let ka = net.path_km(a);
-            let kb = net.path_km(b);
-            ka.partial_cmp(&kb).unwrap().then(a.len().cmp(&b.len()))
-        });
-        result.push(candidates.remove(0));
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, f) = self.prev[cur.index()];
+            path.push(f);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
     }
-    result
 }
 
 /// Configuration of the RWA engine.
@@ -185,6 +183,10 @@ pub struct RwaConfig {
     pub k_paths: usize,
     /// The reach model used for regen insertion.
     pub reach: ReachModel,
+    /// Serve repeated `(src, dst, k)` route queries from the epoch-keyed
+    /// cache. Results are identical either way (the cache is invalidated
+    /// by any topology change); disabling only costs recomputation.
+    pub use_route_cache: bool,
 }
 
 impl Default for RwaConfig {
@@ -192,16 +194,252 @@ impl Default for RwaConfig {
         RwaConfig {
             k_paths: 4,
             reach: ReachModel::default(),
+            use_route_cache: true,
         }
     }
 }
 
-/// Produce a provisionable plan for a wavelength connection of `rate`
-/// between `from` and `to`, avoiding `excluded` fibers (used by
-/// restoration and bridge-and-roll to force disjointness).
+/// The path-computation engine: reusable Dijkstra scratch plus a route
+/// cache keyed by `(src, dst, k)` and validated against the network's
+/// [topology epoch](PhotonicNetwork::topology_epoch). A cached entry is
+/// served only while the epoch is unchanged, so invalidation is free and
+/// results are bit-identical with the cache on or off.
 ///
-/// Resources are only *identified*, not claimed — claiming is the
-/// controller's job, under its admission lock.
+/// The free functions [`k_shortest_paths`], [`plan_wavelength`] and
+/// [`disjoint_pair`] construct a throwaway engine per call; long-lived
+/// callers (the controller) own one and amortise both the scratch buffers
+/// and the cache across requests.
+#[derive(Debug, Default)]
+pub struct PathEngine {
+    scratch: DijkstraScratch,
+    cache: std::collections::HashMap<(RoadmId, RoadmId, usize), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    epoch: u64,
+    paths: Vec<Vec<FiberId>>,
+}
+
+impl PathEngine {
+    /// A fresh engine with empty scratch and cache.
+    pub fn new() -> PathEngine {
+        PathEngine::default()
+    }
+
+    /// `(cache hits, cache misses)` since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Yen's algorithm: up to `k` loop-free shortest paths by km,
+    /// optionally served from the route cache.
+    pub fn k_shortest_paths(
+        &mut self,
+        net: &PhotonicNetwork,
+        from: RoadmId,
+        to: RoadmId,
+        k: usize,
+        use_cache: bool,
+    ) -> Vec<Vec<FiberId>> {
+        if !use_cache {
+            return self.yen(net, from, to, k);
+        }
+        let epoch = net.topology_epoch();
+        if let Some(e) = self.cache.get(&(from, to, k)) {
+            if e.epoch == epoch {
+                self.hits += 1;
+                return e.paths.clone();
+            }
+        }
+        self.misses += 1;
+        let paths = self.yen(net, from, to, k);
+        self.cache.insert(
+            (from, to, k),
+            CacheEntry {
+                epoch,
+                paths: paths.clone(),
+            },
+        );
+        paths
+    }
+
+    /// Yen's k-shortest-paths proper: spur paths are generated off each
+    /// accepted path, deduplicated through a hash set, and ranked in a
+    /// min-heap by `(metres, hops, fiber sequence)` — no linear
+    /// membership scans, no re-sorting per iteration.
+    fn yen(
+        &mut self,
+        net: &PhotonicNetwork,
+        from: RoadmId,
+        to: RoadmId,
+        k: usize,
+    ) -> Vec<Vec<FiberId>> {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashSet};
+
+        let mut result: Vec<Vec<FiberId>> = Vec::new();
+        let Some(first) = self.scratch.shortest_path(net, from, to, &[], &[]) else {
+            return result;
+        };
+        // Every path ever generated (accepted or still a candidate):
+        // spur-fiber exclusion consults it, and membership checks are O(1).
+        let mut seen: HashSet<Vec<FiberId>> = HashSet::new();
+        seen.insert(first.clone());
+        result.push(first);
+        let mut candidates: BinaryHeap<Reverse<(u64, usize, Vec<FiberId>)>> = BinaryHeap::new();
+        let mut excluded_fibers: Vec<FiberId> = Vec::new();
+        while result.len() < k {
+            let last = result.last().unwrap().clone();
+            let last_nodes = net.node_sequence(from, &last);
+            for spur_idx in 0..last.len() {
+                let spur_node = last_nodes[spur_idx];
+                let root = &last[..spur_idx];
+                // Exclude fibers that would regenerate a known path from
+                // this root. (Set iteration order varies, but exclusion is
+                // by membership, so the outcome is deterministic.)
+                excluded_fibers.clear();
+                for p in &seen {
+                    if p.len() > spur_idx && p[..spur_idx] == *root {
+                        excluded_fibers.push(p[spur_idx]);
+                    }
+                }
+                // Exclude root nodes to keep paths loop-free.
+                let excluded_nodes = &last_nodes[..spur_idx];
+                if let Some(spur) =
+                    self.scratch
+                        .shortest_path(net, spur_node, to, &excluded_fibers, excluded_nodes)
+                {
+                    let mut total = root.to_vec();
+                    total.extend(spur);
+                    if !seen.contains(&total) {
+                        seen.insert(total.clone());
+                        let metres = (net.path_km(&total) * 1000.0) as u64;
+                        candidates.push(Reverse((metres, total.len(), total)));
+                    }
+                }
+            }
+            // Shortest candidate next (by km, then hop count, then fiber
+            // sequence for a total deterministic order).
+            match candidates.pop() {
+                Some(Reverse((_, _, path))) => result.push(path),
+                None => break,
+            }
+        }
+        result
+    }
+
+    /// Produce a provisionable plan for a wavelength connection of `rate`
+    /// between `from` and `to`, avoiding `excluded` fibers (used by
+    /// restoration and bridge-and-roll to force disjointness).
+    ///
+    /// Resources are only *identified*, not claimed — claiming is the
+    /// controller's job, under its admission lock.
+    pub fn plan_wavelength(
+        &mut self,
+        net: &PhotonicNetwork,
+        cfg: &RwaConfig,
+        from: RoadmId,
+        to: RoadmId,
+        rate: LineRate,
+        excluded: &[FiberId],
+    ) -> Result<WavelengthPlan, RwaError> {
+        let mut candidates = if excluded.is_empty() {
+            self.k_shortest_paths(net, from, to, cfg.k_paths, cfg.use_route_cache)
+        } else {
+            // Route around exclusions: prune then search. (Not cached —
+            // the exclusion set is part of the query.)
+            match self.scratch.shortest_path(net, from, to, excluded, &[]) {
+                Some(p) => vec![p],
+                None => Vec::new(),
+            }
+        };
+        candidates.retain(|p| !p.is_empty());
+        if candidates.is_empty() {
+            return Err(RwaError::NoRoute);
+        }
+        let mut examined = 0;
+        for path in &candidates {
+            examined += 1;
+            // Wavelength continuity.
+            let Some(lambda) = net.first_free_lambda(path) else {
+                continue;
+            };
+            // Transponders at both ends.
+            let src_pool = net.idle_ots_at(from, rate);
+            let dst_pool = net.idle_ots_at(to, rate);
+            let (Some(ot_src), Some(ot_dst)) = (src_pool.first(), dst_pool.first()) else {
+                continue;
+            };
+            // Reach: insert regens where needed, if the pools allow.
+            let hop_km = net.hop_lengths(path);
+            let Some(points) = cfg.reach.regen_points(rate, &hop_km) else {
+                continue;
+            };
+            let nodes = net.node_sequence(from, path);
+            let mut regens = Vec::new();
+            let mut ok = true;
+            let mut used_at_node: std::collections::HashMap<RoadmId, usize> =
+                std::collections::HashMap::new();
+            for p in &points {
+                let node = nodes[p + 1];
+                let pool = net.free_regens_at(node, rate);
+                let used = used_at_node.entry(node).or_insert(0);
+                if *used < pool.len() {
+                    regens.push(pool[*used]);
+                    *used += 1;
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            return Ok(WavelengthPlan {
+                path: path.clone(),
+                lambda,
+                ot_src: *ot_src,
+                ot_dst: *ot_dst,
+                regens,
+            });
+        }
+        Err(RwaError::Blocked {
+            candidates: examined,
+        })
+    }
+
+    /// Find a link-disjoint pair of paths (working, protect) between two
+    /// nodes, or `None` if the topology cannot supply one.
+    pub fn disjoint_pair(
+        &mut self,
+        net: &PhotonicNetwork,
+        from: RoadmId,
+        to: RoadmId,
+    ) -> Option<(Vec<FiberId>, Vec<FiberId>)> {
+        let working = self.scratch.shortest_path(net, from, to, &[], &[])?;
+        let protect = self.scratch.shortest_path(net, from, to, &working, &[])?;
+        Some((working, protect))
+    }
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths by km.
+/// (Convenience wrapper over a throwaway [`PathEngine`].)
+pub fn k_shortest_paths(
+    net: &PhotonicNetwork,
+    from: RoadmId,
+    to: RoadmId,
+    k: usize,
+) -> Vec<Vec<FiberId>> {
+    PathEngine::new().k_shortest_paths(net, from, to, k, false)
+}
+
+/// Produce a provisionable plan for a wavelength connection of `rate`
+/// between `from` and `to`, avoiding `excluded` fibers.
+/// (Convenience wrapper over a throwaway [`PathEngine`]; see
+/// [`PathEngine::plan_wavelength`].)
 pub fn plan_wavelength(
     net: &PhotonicNetwork,
     cfg: &RwaConfig,
@@ -210,81 +448,18 @@ pub fn plan_wavelength(
     rate: LineRate,
     excluded: &[FiberId],
 ) -> Result<WavelengthPlan, RwaError> {
-    let mut candidates = if excluded.is_empty() {
-        k_shortest_paths(net, from, to, cfg.k_paths)
-    } else {
-        // Route around exclusions: prune then search.
-        match shortest_path_km(net, from, to, excluded, &[]) {
-            Some(p) => vec![p],
-            None => Vec::new(),
-        }
-    };
-    // Also consider a pruned-graph alternative for each candidate set.
-    candidates.retain(|p| !p.is_empty());
-    if candidates.is_empty() {
-        return Err(RwaError::NoRoute);
-    }
-    let mut examined = 0;
-    for path in &candidates {
-        examined += 1;
-        // Wavelength continuity.
-        let Some(lambda) = net.first_free_lambda(path) else {
-            continue;
-        };
-        // Transponders at both ends.
-        let src_pool = net.idle_ots_at(from, rate);
-        let dst_pool = net.idle_ots_at(to, rate);
-        let (Some(ot_src), Some(ot_dst)) = (src_pool.first(), dst_pool.first()) else {
-            continue;
-        };
-        // Reach: insert regens where needed, if the pools allow.
-        let hop_km = net.hop_lengths(path);
-        let Some(points) = cfg.reach.regen_points(rate, &hop_km) else {
-            continue;
-        };
-        let nodes = net.node_sequence(from, path);
-        let mut regens = Vec::new();
-        let mut ok = true;
-        let mut used_at_node: std::collections::HashMap<RoadmId, usize> =
-            std::collections::HashMap::new();
-        for p in &points {
-            let node = nodes[p + 1];
-            let pool = net.free_regens_at(node, rate);
-            let used = used_at_node.entry(node).or_insert(0);
-            if *used < pool.len() {
-                regens.push(pool[*used]);
-                *used += 1;
-            } else {
-                ok = false;
-                break;
-            }
-        }
-        if !ok {
-            continue;
-        }
-        return Ok(WavelengthPlan {
-            path: path.clone(),
-            lambda,
-            ot_src: *ot_src,
-            ot_dst: *ot_dst,
-            regens,
-        });
-    }
-    Err(RwaError::Blocked {
-        candidates: examined,
-    })
+    PathEngine::new().plan_wavelength(net, cfg, from, to, rate, excluded)
 }
 
 /// Find a link-disjoint pair of paths (working, protect) between two
 /// nodes, or `None` if the topology cannot supply one.
+/// (Convenience wrapper over a throwaway [`PathEngine`].)
 pub fn disjoint_pair(
     net: &PhotonicNetwork,
     from: RoadmId,
     to: RoadmId,
 ) -> Option<(Vec<FiberId>, Vec<FiberId>)> {
-    let working = shortest_path_km(net, from, to, &[], &[])?;
-    let protect = shortest_path_km(net, from, to, &working, &[])?;
-    Some((working, protect))
+    PathEngine::new().disjoint_pair(net, from, to)
 }
 
 #[cfg(test)]
@@ -436,6 +611,64 @@ mod tests {
         let b = net.add_roadm("b");
         net.link(a, b, 10.0).unwrap();
         assert!(disjoint_pair(&net, a, b).is_none());
+    }
+
+    #[test]
+    fn route_cache_hits_until_topology_changes() {
+        let (mut net, ids) = PhotonicNetwork::testbed(2);
+        let mut engine = PathEngine::new();
+        let a = engine.k_shortest_paths(&net, ids.i, ids.iv, 3, true);
+        assert_eq!(engine.cache_stats(), (0, 1));
+        let b = engine.k_shortest_paths(&net, ids.i, ids.iv, 3, true);
+        assert_eq!(engine.cache_stats(), (1, 1));
+        assert_eq!(a, b);
+        // Cached result equals a fresh uncached computation.
+        assert_eq!(b, k_shortest_paths(&net, ids.i, ids.iv, 3));
+        // Any topology mutation bumps the epoch and invalidates the entry.
+        net.fiber_mut(ids.f_i_iv).cut_at(0);
+        let c = engine.k_shortest_paths(&net, ids.i, ids.iv, 3, true);
+        assert_eq!(engine.cache_stats(), (1, 2));
+        assert!(!c.iter().any(|p| p.contains(&ids.f_i_iv)));
+        assert_eq!(c, k_shortest_paths(&net, ids.i, ids.iv, 3));
+    }
+
+    #[test]
+    fn plans_identical_with_cache_on_and_off() {
+        let net = PhotonicNetwork::nsfnet(4, LineRate::Gbps10, 2);
+        let cached = RwaConfig::default();
+        let uncached = RwaConfig {
+            use_route_cache: false,
+            ..RwaConfig::default()
+        };
+        let mut engine = PathEngine::new();
+        for (from_name, to_name) in [
+            ("Seattle", "Princeton"),
+            ("PaloAlto", "Ithaca"),
+            ("Seattle", "Princeton"), // repeat → served from cache
+        ] {
+            let from = net.roadm_by_name(from_name).unwrap();
+            let to = net.roadm_by_name(to_name).unwrap();
+            let with = engine.plan_wavelength(&net, &cached, from, to, LineRate::Gbps10, &[]);
+            let without = engine.plan_wavelength(&net, &uncached, from, to, LineRate::Gbps10, &[]);
+            assert_eq!(with, without);
+        }
+        let (hits, _) = engine.cache_stats();
+        assert!(hits >= 1, "repeat query must hit the cache");
+    }
+
+    #[test]
+    fn yen_scratch_reuse_is_clean_across_queries() {
+        // Back-to-back queries on the same engine must not leak exclusion
+        // marks or distances between runs.
+        let net = PhotonicNetwork::nsfnet(2, LineRate::Gbps10, 0);
+        let mut engine = PathEngine::new();
+        for (a, b) in [("Seattle", "Princeton"), ("SanDiego", "Ithaca")] {
+            let from = net.roadm_by_name(a).unwrap();
+            let to = net.roadm_by_name(b).unwrap();
+            let fresh = PathEngine::new().k_shortest_paths(&net, from, to, 4, false);
+            let reused = engine.k_shortest_paths(&net, from, to, 4, false);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

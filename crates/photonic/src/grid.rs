@@ -68,6 +68,25 @@ impl ChannelGrid {
         w.0 < self.channels
     }
 
+    /// Bitmask with one set bit per on-grid channel (bit *i* ↔ channel
+    /// *i*). The occupancy-mask fast paths require the whole grid to fit
+    /// in a `u128`; deployed systems top out around 100 channels.
+    ///
+    /// # Panics
+    /// If the grid has more than 128 channels.
+    pub fn channel_mask(&self) -> u128 {
+        assert!(
+            self.channels <= 128,
+            "{} channels exceed the u128 occupancy-mask width",
+            self.channels
+        );
+        if self.channels == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.channels) - 1
+        }
+    }
+
     /// Centre frequency of a channel in GHz.
     ///
     /// # Panics

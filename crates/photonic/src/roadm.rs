@@ -123,6 +123,10 @@ pub struct Roadm {
     pub grid: ChannelGrid,
     /// Fiber link behind each degree, indexed by [`DegreeId`].
     degrees: Vec<FiberId>,
+    /// Per-degree occupancy bitmask (bit *i* set ⇔ channel *i* lit),
+    /// indexed by [`DegreeId`]. Kept in lockstep with `lambda_use` so
+    /// free-wavelength queries are single AND/popcount operations.
+    degree_masks: Vec<u128>,
     /// Add/drop ports, indexed by [`PortId`].
     ports: Vec<AddDropPort>,
     /// Per-degree wavelength usage: `(degree, λ) → use`.
@@ -133,11 +137,16 @@ pub struct Roadm {
 
 impl Roadm {
     /// A node with no degrees or ports yet.
+    ///
+    /// # Panics
+    /// If the grid exceeds the 128-channel occupancy-mask width.
     pub fn new(id: RoadmId, grid: ChannelGrid) -> Roadm {
+        let _ = grid.channel_mask();
         Roadm {
             id,
             grid,
             degrees: Vec::new(),
+            degree_masks: Vec::new(),
             ports: Vec::new(),
             lambda_use: BTreeMap::new(),
             port_config: BTreeMap::new(),
@@ -148,6 +157,7 @@ impl Roadm {
     pub fn add_degree(&mut self, fiber: FiberId) -> DegreeId {
         let d = DegreeId::from_index(self.degrees.len());
         self.degrees.push(fiber);
+        self.degree_masks.push(0);
         d
     }
 
@@ -236,7 +246,30 @@ impl Roadm {
 
     /// Is `w` unused on degree `d`?
     pub fn lambda_free(&self, d: DegreeId, w: Wavelength) -> bool {
-        !self.lambda_use.contains_key(&(d, w))
+        let free = self.occupancy_mask(d) & (1u128 << w.index()) == 0;
+        debug_assert_eq!(free, !self.lambda_use.contains_key(&(d, w)));
+        free
+    }
+
+    /// Occupancy bitmask of degree `d`: bit *i* set ⇔ channel *i* lit.
+    /// An unknown degree reads as all-dark.
+    pub fn occupancy_mask(&self, d: DegreeId) -> u128 {
+        self.degree_masks.get(d.index()).copied().unwrap_or(0)
+    }
+
+    /// Free-channel bitmask of degree `d`: bit *i* set ⇔ channel *i* is
+    /// on-grid and unlit. The AND of these masks along a path is the set
+    /// of wavelengths satisfying the continuity constraint.
+    pub fn free_mask(&self, d: DegreeId) -> u128 {
+        !self.occupancy_mask(d) & self.grid.channel_mask()
+    }
+
+    fn mark_lit(&mut self, d: DegreeId, w: Wavelength) {
+        self.degree_masks[d.index()] |= 1u128 << w.index();
+    }
+
+    fn mark_dark(&mut self, d: DegreeId, w: Wavelength) {
+        self.degree_masks[d.index()] &= !(1u128 << w.index());
     }
 
     /// Current use of `(d, w)` if configured.
@@ -267,6 +300,8 @@ impl Roadm {
             .insert((d1, w), LambdaUse::Express { other: d2 });
         self.lambda_use
             .insert((d2, w), LambdaUse::Express { other: d1 });
+        self.mark_lit(d1, w);
+        self.mark_lit(d2, w);
         Ok(())
     }
 
@@ -283,6 +318,8 @@ impl Roadm {
             {
                 self.lambda_use.remove(&(d1, w));
                 self.lambda_use.remove(&(d2, w));
+                self.mark_dark(d1, w);
+                self.mark_dark(d2, w);
                 Ok(())
             }
             _ => Err(RoadmError::NotConfigured),
@@ -320,6 +357,7 @@ impl Roadm {
             return Err(RoadmError::WavelengthInUse(w, d));
         }
         self.lambda_use.insert((d, w), LambdaUse::AddDrop { port });
+        self.mark_lit(d, w);
         self.port_config.insert(port, (w, d));
         Ok(())
     }
@@ -332,6 +370,7 @@ impl Roadm {
             .ok_or(RoadmError::NotConfigured)?;
         let removed = self.lambda_use.remove(&(d, w));
         debug_assert_eq!(removed, Some(LambdaUse::AddDrop { port }));
+        self.mark_dark(d, w);
         Ok(())
     }
 
@@ -343,7 +382,9 @@ impl Roadm {
     /// Count of lit wavelengths on a degree (for equalization cost and
     /// utilization reporting).
     pub fn lit_count(&self, d: DegreeId) -> usize {
-        self.lambda_use.keys().filter(|(kd, _)| *kd == d).count()
+        let n = self.occupancy_mask(d).count_ones() as usize;
+        debug_assert_eq!(n, self.lambda_use.keys().filter(|(kd, _)| *kd == d).count());
+        n
     }
 
     /// Every `(degree, wavelength, use)` currently configured.
@@ -525,6 +566,29 @@ mod tests {
         assert_eq!(r.fiber_of(d0).unwrap(), FiberId::new(0));
         assert!(r.fiber_of(DegreeId::new(9)).is_err());
         assert_eq!(r.degree_count(), 3);
+    }
+
+    #[test]
+    fn occupancy_masks_mirror_lambda_use() {
+        let (mut r, d0, d1, d2, p) = three_degree();
+        assert_eq!(r.occupancy_mask(d0), 0);
+        assert_eq!(r.free_mask(d0), r.grid.channel_mask());
+        r.connect_express(Wavelength(5), d0, d1).unwrap();
+        r.connect_add_drop(p, Wavelength(2), d0).unwrap();
+        assert_eq!(r.occupancy_mask(d0), (1 << 5) | (1 << 2));
+        assert_eq!(r.occupancy_mask(d1), 1 << 5);
+        assert_eq!(r.occupancy_mask(d2), 0);
+        assert_eq!(
+            r.free_mask(d0),
+            r.grid.channel_mask() & !((1 << 5) | (1 << 2))
+        );
+        r.disconnect_express(Wavelength(5), d0, d1).unwrap();
+        r.disconnect_add_drop(p).unwrap();
+        assert_eq!(r.occupancy_mask(d0), 0);
+        assert_eq!(r.occupancy_mask(d1), 0);
+        // Unknown degrees read all-dark / fully-free-on-grid.
+        assert_eq!(r.occupancy_mask(DegreeId::new(99)), 0);
+        assert_eq!(r.free_mask(DegreeId::new(99)), r.grid.channel_mask());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::alarm::{Alarm, AlarmKind, AlarmSeverity, DetectionModel};
 use crate::fiber::{FiberId, FiberLink, FiberState};
 use crate::fxc::{Fxc, FxcId};
 use crate::grid::{ChannelGrid, LineRate, Wavelength};
-use crate::roadm::{PortId, Roadm, RoadmId};
+use crate::roadm::{DegreeId, PortId, Roadm, RoadmId};
 use crate::transponder::{Muxponder, MuxponderId, Regen, RegenId, Transponder, TransponderId};
 
 /// Errors raised while assembling or querying a topology.
@@ -68,6 +68,19 @@ pub struct PhotonicNetwork {
     regens: Vec<Regen>,
     fxcs: Vec<Fxc>,
     muxponders: Vec<Muxponder>,
+    /// CSR adjacency offsets: node `n`'s edges live at
+    /// `adj_edges[adj_off[n] .. adj_off[n + 1]]`.
+    adj_off: Vec<u32>,
+    /// CSR adjacency edges: `(connecting fiber, far node)`, grouped by
+    /// near node, in fiber-id order within each group.
+    adj_edges: Vec<(FiberId, RoadmId)>,
+    /// Endpoint degrees `(degree at fiber.a, degree at fiber.b)`, indexed
+    /// by [`FiberId`] — avoids the linear `degree_to` scan on hot paths.
+    fiber_degrees: Vec<(DegreeId, DegreeId)>,
+    /// Monotonic counter bumped whenever routing-relevant state may have
+    /// changed (new links/nodes, any `fiber_mut` access). Route caches key
+    /// on it, making invalidation a plain equality check.
+    topology_epoch: u64,
 }
 
 impl PhotonicNetwork {
@@ -83,6 +96,10 @@ impl PhotonicNetwork {
             regens: Vec::new(),
             fxcs: Vec::new(),
             muxponders: Vec::new(),
+            adj_off: vec![0],
+            adj_edges: Vec::new(),
+            fiber_degrees: Vec::new(),
+            topology_epoch: 0,
         }
     }
 
@@ -93,6 +110,9 @@ impl PhotonicNetwork {
         let id = RoadmId::from_index(self.roadms.len());
         self.roadms.push(Roadm::new(id, self.grid));
         self.names.push(name.into());
+        // An isolated node has no edges: extend the offset array in place.
+        self.adj_off.push(*self.adj_off.last().unwrap());
+        self.topology_epoch += 1;
         id
     }
 
@@ -106,9 +126,38 @@ impl PhotonicNetwork {
         }
         let id = FiberId::from_index(self.fibers.len());
         self.fibers.push(FiberLink::with_length(id, a, b, km));
-        self.roadms[a.index()].add_degree(id);
-        self.roadms[b.index()].add_degree(id);
+        let da = self.roadms[a.index()].add_degree(id);
+        let db = self.roadms[b.index()].add_degree(id);
+        self.fiber_degrees.push((da, db));
+        self.rebuild_adjacency();
+        self.topology_epoch += 1;
         Ok(id)
+    }
+
+    /// Rebuild the CSR adjacency arrays from the fiber list (counting
+    /// sort; O(nodes + fibers)). Called on every `link` — topology
+    /// construction is rare compared to the queries the CSR serves.
+    fn rebuild_adjacency(&mut self) {
+        let n = self.roadms.len();
+        let mut off = vec![0u32; n + 1];
+        for f in &self.fibers {
+            off[f.a.index() + 1] += 1;
+            off[f.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut cursor = off.clone();
+        self.adj_edges = vec![(FiberId::new(0), RoadmId::new(0)); 2 * self.fibers.len()];
+        for f in &self.fibers {
+            let ia = f.a.index();
+            self.adj_edges[cursor[ia] as usize] = (f.id, f.b);
+            cursor[ia] += 1;
+            let ib = f.b.index();
+            self.adj_edges[cursor[ib] as usize] = (f.id, f.a);
+            cursor[ib] += 1;
+        }
+        self.adj_off = off;
     }
 
     /// Install a tunable transponder at `node` on a fresh colorless,
@@ -173,9 +222,20 @@ impl PhotonicNetwork {
     pub fn fiber(&self, id: FiberId) -> &FiberLink {
         &self.fibers[id.index()]
     }
-    /// Mutate a fiber.
+    /// Mutate a fiber. Bumps the topology epoch conservatively: callers
+    /// take this path to change fiber state (cuts, maintenance, restore),
+    /// all of which affect routing.
     pub fn fiber_mut(&mut self, id: FiberId) -> &mut FiberLink {
+        self.topology_epoch += 1;
         &mut self.fibers[id.index()]
+    }
+
+    /// The current topology epoch. Strictly increases across any mutation
+    /// that can change routing results (node/link additions, fiber state
+    /// changes); equal epochs guarantee identical route computations, so
+    /// caches keyed on `(query, epoch)` never serve stale paths.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
     /// Read a transponder.
     pub fn transponder(&self, id: TransponderId) -> &Transponder {
@@ -270,21 +330,13 @@ impl PhotonicNetwork {
             .map(|f| f.id)
     }
 
-    /// Neighbours of a node: `(connecting fiber, far node)` pairs,
-    /// including links that are currently down.
-    pub fn neighbors(&self, n: RoadmId) -> Vec<(FiberId, RoadmId)> {
-        self.fibers
-            .iter()
-            .filter_map(|f| {
-                if f.a == n {
-                    Some((f.id, f.b))
-                } else if f.b == n {
-                    Some((f.id, f.a))
-                } else {
-                    None
-                }
-            })
-            .collect()
+    /// Neighbours of a node: `(connecting fiber, far node)` pairs in
+    /// fiber-id order, including links that are currently down. Served
+    /// from the CSR adjacency — no allocation, no fiber-list scan.
+    pub fn neighbors(&self, n: RoadmId) -> &[(FiberId, RoadmId)] {
+        let lo = self.adj_off[n.index()] as usize;
+        let hi = self.adj_off[n.index() + 1] as usize;
+        &self.adj_edges[lo..hi]
     }
 
     /// The node sequence of a fiber path starting at `from`.
@@ -312,35 +364,63 @@ impl PhotonicNetwork {
         self.hop_lengths(path).iter().sum()
     }
 
-    /// Is `w` unused on fiber `f`? Checked at both endpoint ROADMs'
-    /// facing degrees (they are configured together, but a half-configured
-    /// state mid-workflow counts as occupied).
-    pub fn lambda_free_on_fiber(&self, f: FiberId, w: Wavelength) -> bool {
+    /// Free-channel bitmask of fiber `f`: bit *i* set ⇔ channel *i* is
+    /// free at *both* endpoint ROADMs' facing degrees (they are configured
+    /// together, but a half-configured state mid-workflow counts as
+    /// occupied).
+    pub fn free_lambda_mask(&self, f: FiberId) -> u128 {
         let link = self.fiber(f);
-        for node in [link.a, link.b] {
-            let r = self.roadm(node);
-            let d = r.degree_to(f).expect("endpoint must have a degree");
-            if !r.lambda_free(d, w) {
-                return false;
-            }
-        }
-        true
+        let (da, db) = self.fiber_degrees[f.index()];
+        self.roadms[link.a.index()].free_mask(da) & self.roadms[link.b.index()].free_mask(db)
+    }
+
+    /// Is `w` unused on fiber `f` (at both endpoints)?
+    pub fn lambda_free_on_fiber(&self, f: FiberId, w: Wavelength) -> bool {
+        self.free_lambda_mask(f) & (1u128 << w.index()) != 0
     }
 
     /// First-fit wavelength free on *every* fiber of `path` (wavelength
-    /// continuity), if any.
+    /// continuity), if any: an AND-reduce of per-fiber free masks followed
+    /// by a trailing-zeros count. The naive per-wavelength scan survives
+    /// as [`PhotonicNetwork::first_free_lambda_reference`] and is checked
+    /// against in debug builds.
     pub fn first_free_lambda(&self, path: &[FiberId]) -> Option<Wavelength> {
-        self.grid
-            .wavelengths()
-            .find(|w| path.iter().all(|f| self.lambda_free_on_fiber(*f, *w)))
+        let mut free = self.grid.channel_mask();
+        for f in path {
+            free &= self.free_lambda_mask(*f);
+            if free == 0 {
+                break;
+            }
+        }
+        let found = if free == 0 {
+            None
+        } else {
+            Some(Wavelength(free.trailing_zeros() as u16))
+        };
+        debug_assert_eq!(found, self.first_free_lambda_reference(path));
+        found
+    }
+
+    /// Reference first-fit implementation: the original nested scan over
+    /// wavelengths × hops × degrees, reading the ROADMs' configuration
+    /// maps directly. O(λ·hops·degree) — kept as the oracle the bitmask
+    /// fast path is verified against (debug asserts and property tests).
+    pub fn first_free_lambda_reference(&self, path: &[FiberId]) -> Option<Wavelength> {
+        self.grid.wavelengths().find(|w| {
+            path.iter().all(|f| {
+                let link = self.fiber(*f);
+                [link.a, link.b].into_iter().all(|node| {
+                    let r = self.roadm(node);
+                    let d = r.degree_to(*f).expect("endpoint must have a degree");
+                    r.lambda_usage(d, *w).is_none()
+                })
+            })
+        })
     }
 
     /// Count of wavelengths lit on a fiber (either endpoint).
     pub fn lit_lambdas_on_fiber(&self, f: FiberId) -> usize {
-        self.grid
-            .wavelengths()
-            .filter(|w| !self.lambda_free_on_fiber(f, *w))
-            .count()
+        (self.grid.channel_mask() & !self.free_lambda_mask(f)).count_ones() as usize
     }
 
     /// Idle transponders of `rate` installed at `node`.
@@ -371,7 +451,7 @@ impl PhotonicNetwork {
         let mut prev: BTreeMap<RoadmId, (RoadmId, FiberId)> = BTreeMap::new();
         let mut queue = VecDeque::from([from]);
         while let Some(n) = queue.pop_front() {
-            for (fid, m) in self.neighbors(n) {
+            for &(fid, m) in self.neighbors(n) {
                 if !self.fiber(fid).is_up() || m == from || prev.contains_key(&m) {
                     continue;
                 }
@@ -453,7 +533,7 @@ impl PhotonicNetwork {
                 "  {:<12} ({degree}-degree, {ports} a/d ports) ↔",
                 self.name(r.id)
             );
-            for (fid, m) in self.neighbors(r.id) {
+            for &(fid, m) in self.neighbors(r.id) {
                 let state = match self.fiber(fid).state {
                     FiberState::Up => "",
                     FiberState::Cut { .. } => "[CUT]",
@@ -818,6 +898,72 @@ mod tests {
         let map = net.spectrum_map();
         assert!(map.contains('█'));
         assert!(map.contains("1/80"));
+    }
+
+    #[test]
+    fn csr_neighbors_match_fiber_scan() {
+        let net = PhotonicNetwork::nsfnet(0, LineRate::Gbps10, 0);
+        for n in net.roadm_ids() {
+            let expected: Vec<(FiberId, RoadmId)> = net
+                .fiber_ids()
+                .filter_map(|fid| {
+                    let f = net.fiber(fid);
+                    if f.a == n {
+                        Some((fid, f.b))
+                    } else if f.b == n {
+                        Some((fid, f.a))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            assert_eq!(net.neighbors(n), expected.as_slice(), "{}", net.name(n));
+        }
+        // Isolated nodes have an empty (not panicking) neighbor slice.
+        let mut lone = PhotonicNetwork::new(ChannelGrid::C_BAND_40);
+        let a = lone.add_roadm("a");
+        assert!(lone.neighbors(a).is_empty());
+    }
+
+    #[test]
+    fn topology_epoch_tracks_mutations() {
+        let mut net = PhotonicNetwork::new(ChannelGrid::C_BAND_40);
+        let e0 = net.topology_epoch();
+        let a = net.add_roadm("a");
+        let b = net.add_roadm("b");
+        let e1 = net.topology_epoch();
+        assert!(e1 > e0);
+        let f = net.link(a, b, 10.0).unwrap();
+        let e2 = net.topology_epoch();
+        assert!(e2 > e1);
+        // Read-only access leaves the epoch alone …
+        let _ = net.fiber(f);
+        let _ = net.neighbors(a);
+        assert_eq!(net.topology_epoch(), e2);
+        // … but mutable fiber access bumps it (cut, restore, anything).
+        net.fiber_mut(f).cut_at(0);
+        assert!(net.topology_epoch() > e2);
+    }
+
+    #[test]
+    fn fiber_free_mask_and_first_fit_agree_with_reference() {
+        let (mut net, ids) = PhotonicNetwork::testbed(2);
+        let path = vec![ids.f_i_iii, ids.f_iii_iv];
+        assert_eq!(net.free_lambda_mask(ids.f_i_iii), net.grid.channel_mask());
+        let d = net.roadm(ids.iii).degree_to(ids.f_i_iii).unwrap();
+        let d2 = net.roadm(ids.iii).degree_to(ids.f_iii_iv).unwrap();
+        net.roadm_mut(ids.iii)
+            .connect_express(Wavelength(0), d, d2)
+            .unwrap();
+        assert_eq!(
+            net.free_lambda_mask(ids.f_i_iii),
+            net.grid.channel_mask() & !1
+        );
+        assert_eq!(net.first_free_lambda(&path), Some(Wavelength(1)));
+        assert_eq!(
+            net.first_free_lambda(&path),
+            net.first_free_lambda_reference(&path)
+        );
     }
 
     #[test]

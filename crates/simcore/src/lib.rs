@@ -53,7 +53,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, TimeSeries};
+pub use metrics::{Counter, Gauge, Histogram, LatencyRecorder, MetricsRegistry, TimeSeries};
 pub use queue::{EventId, Scheduler};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

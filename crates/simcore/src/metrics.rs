@@ -281,6 +281,79 @@ impl TimeSeries {
     }
 }
 
+/// Wall-clock latency percentiles from raw samples — for *host-side*
+/// performance measurement (e.g. how long `plan_wavelength` takes on this
+/// machine), not simulated time.
+///
+/// Deliberately **not** part of [`MetricsRegistry`]: registry reports feed
+/// deterministic scenario comparisons, and wall-clock readings would break
+/// the same-seed ⇒ same-report contract. Keep recorders of this type in a
+/// side channel and surface them only in performance summaries.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample, in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Nearest-rank percentile in nanoseconds (`p` in 0..=100).
+    /// Returns 0 with no samples.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+    /// 95th-percentile latency in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.percentile_ns(95.0)
+    }
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// One-line human summary, e.g. `n=120 p50=14µs p95=89µs p99=210µs`.
+    pub fn summary(&self) -> String {
+        fn us(ns: u64) -> String {
+            if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else {
+                format!("{:.0}µs", ns as f64 / 1e3)
+            }
+        }
+        format!(
+            "n={} p50={} p95={} p99={}",
+            self.count(),
+            us(self.p50_ns()),
+            us(self.p95_ns()),
+            us(self.p99_ns())
+        )
+    }
+}
+
 /// A named collection of metrics for one experiment run.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -361,6 +434,21 @@ impl MetricsRegistry {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+
+    #[test]
+    fn latency_recorder_percentiles() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.p50_ns(), 0);
+        for ns in (1..=100).rev() {
+            r.record_ns(ns * 1000);
+        }
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.p50_ns(), 50_000);
+        assert_eq!(r.p95_ns(), 95_000);
+        assert_eq!(r.p99_ns(), 99_000);
+        assert_eq!(r.percentile_ns(100.0), 100_000);
+        assert!(r.summary().contains("n=100"));
+    }
 
     #[test]
     fn counter_basics() {

@@ -90,7 +90,7 @@ fn main() {
     let arrivals = 800;
     let mut blocked = 0;
     for _ in 0..arrivals {
-        t = t + SimDuration::from_secs_f64(rng.exp(gap_mean));
+        t += SimDuration::from_secs_f64(rng.exp(gap_mean));
         departures.sort_by_key(|(d, _)| *d);
         while let Some((d, id)) = departures.first().copied() {
             if d <= t {

@@ -7,11 +7,19 @@ use photonic::{LineRate, PhotonicNetwork};
 use simcore::{DataRate, SimDuration};
 
 fn run_scenario(seed: u64) -> (Vec<f64>, u64, String) {
+    run_scenario_with_cache(seed, true)
+}
+
+fn run_scenario_with_cache(seed: u64, use_route_cache: bool) -> (Vec<f64>, u64, String) {
     let (net, ids) = PhotonicNetwork::testbed(8);
     let mut ctl = Controller::new(
         net,
         ControllerConfig {
             seed,
+            rwa: griphon::rwa::RwaConfig {
+                use_route_cache,
+                ..griphon::rwa::RwaConfig::default()
+            },
             ..ControllerConfig::default()
         },
     );
@@ -41,6 +49,20 @@ fn same_seed_identical_run() {
     assert_eq!(o1, o2);
     assert_eq!(e1, e2);
     assert_eq!(t1, t2, "trace must match byte for byte");
+}
+
+/// The route cache is a pure memoisation layer: switching it off must
+/// not change a single event, outage, or trace byte.
+#[test]
+fn route_cache_does_not_change_outcomes() {
+    let (o_on, e_on, t_on) = run_scenario_with_cache(777, true);
+    let (o_off, e_off, t_off) = run_scenario_with_cache(777, false);
+    assert_eq!(o_on, o_off, "outages must not depend on the route cache");
+    assert_eq!(
+        e_on, e_off,
+        "event count must not depend on the route cache"
+    );
+    assert_eq!(t_on, t_off, "trace must match byte for byte");
 }
 
 #[test]

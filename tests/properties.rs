@@ -354,6 +354,76 @@ proptest! {
         }
     }
 
+    /// Bitmask first-fit equals the reference wavelength scan on random
+    /// ring-plus-chords topologies under arbitrary claim/release churn.
+    #[test]
+    fn bitmask_first_fit_matches_reference_scan(
+        n in 4usize..8,
+        chords in prop::collection::vec((0usize..8, 0usize..8), 0..5),
+        ops in prop::collection::vec((any::<bool>(), 0usize..64, 0u16..40), 1..120),
+        path_picks in prop::collection::vec(0usize..64, 1..8),
+    ) {
+        use photonic::{ChannelGrid, DegreeId, Wavelength};
+        let mut net = PhotonicNetwork::new(ChannelGrid::C_BAND_40);
+        let nodes: Vec<_> = (0..n).map(|i| net.add_roadm(format!("n{i}"))).collect();
+        for i in 0..n {
+            net.link(nodes[i], nodes[(i + 1) % n], 100.0).unwrap();
+        }
+        for (a, b) in chords {
+            let (a, b) = (nodes[a % n], nodes[b % n]);
+            if a != b {
+                let _ = net.link(a, b, 250.0); // duplicate chords just fail
+            }
+        }
+        let fibers: Vec<_> = net.fiber_ids().collect();
+        // Each live claim is (λ, per-endpoint (node, facing degree, other degree)).
+        type ClaimEnd = (photonic::RoadmId, DegreeId, DegreeId);
+        let mut live: Vec<(Wavelength, [ClaimEnd; 2])> = Vec::new();
+        for (connect, pick, w_raw) in ops {
+            let w = Wavelength(w_raw);
+            if connect {
+                let f = fibers[pick % fibers.len()];
+                let link = net.fiber(f);
+                let (na, nb) = (link.a, link.b);
+                let ends = [na, nb].map(|node| {
+                    let r = net.roadm(node);
+                    let d = r.degree_to(f).unwrap();
+                    let d2 = DegreeId::from_index((d.index() + 1) % r.degree_count());
+                    (node, d, d2)
+                });
+                let free = ends.iter().all(|(node, d, d2)| {
+                    let r = net.roadm(*node);
+                    r.lambda_free(*d, w) && r.lambda_free(*d2, w)
+                });
+                if free {
+                    for (node, d, d2) in ends {
+                        net.roadm_mut(node).connect_express(w, d, d2).unwrap();
+                    }
+                    live.push((w, ends));
+                }
+            } else if !live.is_empty() {
+                let (w, ends) = live.remove(pick % live.len());
+                for (node, d, d2) in ends {
+                    net.roadm_mut(node).disconnect_express(w, d, d2).unwrap();
+                }
+            }
+            // The AND-reduce first fit must agree with the nested scan on
+            // an arbitrary fiber set after every mutation.
+            let path: Vec<_> = path_picks.iter().map(|p| fibers[p % fibers.len()]).collect();
+            prop_assert_eq!(
+                net.first_free_lambda(&path),
+                net.first_free_lambda_reference(&path)
+            );
+        }
+        // And per single fiber once the dust settles.
+        for f in &fibers {
+            prop_assert_eq!(
+                net.first_free_lambda(std::slice::from_ref(f)),
+                net.first_free_lambda_reference(std::slice::from_ref(f))
+            );
+        }
+    }
+
     /// Controller invariant under random order/teardown interleavings on
     /// the testbed: tenant accounting and transponder pools always
     /// reconcile after the dust settles, whatever succeeded or failed.

@@ -34,11 +34,17 @@ fn todays_stack_carries_each_rate_at_the_right_layer() {
 
     // 2 G → the sub-wavelength layer (SONET today): the SONET *BoD*
     // ceiling refuses it — exactly the gap Table 1 row 1 records.
-    assert_eq!(stack.layer_for_service(DataRate::from_gbps(2)), Layer::Sonet);
+    assert_eq!(
+        stack.layer_for_service(DataRate::from_gbps(2)),
+        Layer::Sonet
+    );
     assert!(sonet.provision(DataRate::from_gbps(2), false).is_err());
 
     // 10 G+ → DWDM.
-    assert_eq!(stack.layer_for_service(DataRate::from_gbps(10)), Layer::Dwdm);
+    assert_eq!(
+        stack.layer_for_service(DataRate::from_gbps(10)),
+        Layer::Dwdm
+    );
 }
 
 /// The future stack (Fig. 2) closes today's 2 G gap with OTN.

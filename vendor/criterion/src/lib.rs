@@ -152,41 +152,18 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Run one benchmark.
-    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
-            iters: 0,
-        };
-        f(&mut b);
-        let mut sorted = b.samples.clone();
-        sorted.sort_by(|a, c| a.partial_cmp(c).unwrap());
-        let median = if sorted.is_empty() {
-            0.0
-        } else {
-            sorted[sorted.len() / 2]
-        };
-        let sample = Sample {
-            id: id.clone(),
-            median_ns: median,
-            min_ns: sorted.first().copied().unwrap_or(0.0),
-            max_ns: sorted.last().copied().unwrap_or(0.0),
-            iters_per_sample: b.iters,
-        };
-        println!(
-            "{id:<50} median {:>12} /iter  (min {}, max {}, {} iters/sample)",
-            fmt_ns(sample.median_ns),
-            fmt_ns(sample.min_ns),
-            fmt_ns(sample.max_ns),
-            sample.iters_per_sample
+        self.criterion.run_bench(
+            id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
         );
-        self.criterion.results.push(sample);
         self
     }
 
@@ -224,9 +201,66 @@ impl Criterion {
         }
     }
 
+    /// Run one ungrouped benchmark with the default settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_bench(
+            id.into(),
+            10,
+            Duration::from_secs(3),
+            Duration::from_millis(500),
+            f,
+        );
+        self
+    }
+
     /// Drain the measured results (for machine-readable exporters).
     pub fn take_results(&mut self) -> Vec<Sample> {
         std::mem::take(&mut self.results)
+    }
+
+    fn run_bench<F>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            iters: 0,
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        let median = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let sample = Sample {
+            id: id.clone(),
+            median_ns: median,
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            max_ns: sorted.last().copied().unwrap_or(0.0),
+            iters_per_sample: b.iters,
+        };
+        println!(
+            "{id:<50} median {:>12} /iter  (min {}, max {}, {} iters/sample)",
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+            sample.iters_per_sample
+        );
+        self.results.push(sample);
     }
 }
 

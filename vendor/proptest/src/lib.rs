@@ -254,8 +254,8 @@ pub mod prop {
 /// Everything a property test file needs.
 pub mod prelude {
     pub use crate::{
-        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
-        proptest, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 

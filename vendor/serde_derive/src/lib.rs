@@ -34,10 +34,21 @@ struct Variant {
 }
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Default)]
@@ -223,9 +234,7 @@ fn parse_variants(stream: TokenStream, rename_all: &Option<String>) -> Vec<Varia
             _ => VariantKind::Unit,
         };
         // Skip a discriminant (`= expr`) if ever present, then the comma.
-        while i < toks.len()
-            && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',')
-        {
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
             i += 1;
         }
         i += 1;
@@ -454,7 +463,12 @@ fn gen_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
-                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.tag, v.name))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.tag, v.name
+                    )
+                })
                 .collect();
             let tagged_arms: Vec<String> = variants
                 .iter()

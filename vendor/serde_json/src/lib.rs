@@ -286,8 +286,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -419,7 +418,7 @@ mod tests {
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
         assert_eq!(from_str::<i32>("-7").unwrap(), -7);
         assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
     }
@@ -437,7 +436,10 @@ mod tests {
         m.insert("x".into(), vec![(1, true), (2, false)]);
         m.insert("y z".into(), vec![]);
         let json = to_string_pretty(&m).unwrap();
-        assert_eq!(from_str::<BTreeMap<String, Vec<(u32, bool)>>>(&json).unwrap(), m);
+        assert_eq!(
+            from_str::<BTreeMap<String, Vec<(u32, bool)>>>(&json).unwrap(),
+            m
+        );
         assert!(json.contains("\"x\""));
     }
 
