@@ -6,10 +6,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use cloud::scheduler::{BodPolicy, StaticLinePolicy, StoreForwardPolicy};
 use cloud::workload::{WorkloadConfig, WorkloadGenerator};
-use cloud::{BulkJob, DataCenterId};
+use cloud::{BulkJob, DataCenterId, RateProfile};
 use griphon::controller::{Controller, ControllerConfig};
 use photonic::{EmsProfile, EqualizationModel, PhotonicNetwork};
-use simcore::{DataRate, DataSize, SimDuration, SimTime};
+use simcore::{DataRate, DataSize, SimDuration};
 
 fn week_of_jobs() -> Vec<BulkJob> {
     let cfg = WorkloadConfig {
@@ -29,7 +29,7 @@ fn bench_policies(c: &mut Criterion) {
     let horizon = SimDuration::from_hours(24 * 7);
     let tick = SimDuration::from_secs(60);
     let jobs = week_of_jobs();
-    let flat = |_: SimTime| DataRate::from_gbps(1);
+    let flat = RateProfile::flat(DataRate::from_gbps(1));
 
     let mut g = c.benchmark_group("e5_policies");
     g.sample_size(10);

@@ -1,0 +1,318 @@
+//! `bench-cloud` repro target: the event-driven workload engine against
+//! the fixed-tick oracle on a scaled inter-DC replication workload,
+//! emitted as `BENCH_cloud.json`.
+//!
+//! The workload is deliberately bigger than anything `repro fig6`/`fig7`
+//! runs — ≥50 site pairs, ≥100k bulk jobs, a 30-day horizon at the
+//! 60-second tick — because that is where the tick loop's
+//! O(horizon/tick) cost dominates (the ROADMAP's "millions of users"
+//! scale). Three head-to-head comparisons carry the result:
+//!
+//! 1. **Static line, 50 pairs** — [`StaticLinePolicy::run`] (event) vs
+//!    [`StaticLinePolicy::run_tick_reference`] (the seed loop).
+//! 2. **Store-and-forward, 50 pairs** — likewise for
+//!    [`StoreForwardPolicy`].
+//! 3. **BoD, independent controllers** — [`BodPolicy::run`] vs its tick
+//!    oracle, one live controller per pair.
+//!
+//! Both sides of every comparison are sharded across OS threads with
+//! [`crate::experiments::parallel_cells`] (each pair is an independent
+//! cell), and every pair's event-engine `PolicyOutcome` is asserted
+//! byte-identical to its tick-oracle outcome before any timing is
+//! reported. The emit step fails (non-zero exit) if the event engine is
+//! not faster than the tick engine on any comparison. Run with
+//! `--release`; debug timings are meaningless.
+
+use std::time::Instant;
+
+use cloud::scheduler::{BodPolicy, StaticLinePolicy, StoreForwardPolicy};
+use cloud::workload::{WorkloadConfig, WorkloadGenerator};
+use cloud::{BulkJob, DataCenterId, PolicyOutcome, RateProfile};
+use serde::Serialize;
+use simcore::{DataRate, DataSize, SimDuration, SimTime};
+
+use crate::experiments::{parallel_cells, quiet_testbed};
+
+/// One engine's timed side of a comparison.
+#[derive(Serialize)]
+pub struct EngineCase {
+    /// `tick` or `event`.
+    pub engine: String,
+    /// Wall time for the whole sharded sweep, nanoseconds; the best of
+    /// [`TIMING_PASSES`] identical passes (the sweeps are pure, so the
+    /// minimum is the run least disturbed by scheduler noise).
+    pub wall_ns: u64,
+    /// Work units processed: simulated ticks for the tick engine,
+    /// workload events (one arrival + one completion per job) for the
+    /// event engine.
+    pub units: u64,
+    /// `units` per wall-clock second.
+    pub units_per_sec: f64,
+}
+
+/// A tick/event pair with the resulting speedup factor.
+#[derive(Serialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub name: String,
+    /// Site pairs simulated (each pair is one shard cell).
+    pub pairs: usize,
+    /// Total bulk jobs across all pairs.
+    pub jobs: u64,
+    /// The seed tick loop's timing.
+    pub tick: EngineCase,
+    /// The event engine's timing.
+    pub event: EngineCase,
+    /// `tick.wall_ns / event.wall_ns`.
+    pub speedup: f64,
+}
+
+/// The full report serialised to `BENCH_cloud.json`.
+#[derive(Serialize)]
+pub struct CloudReport {
+    /// Report name, fixed to `bench_cloud`.
+    pub benchmark: String,
+    /// Simulated horizon, days.
+    pub horizon_days: u64,
+    /// Decision-tick granularity, seconds.
+    pub tick_secs: u64,
+    /// Distinct site pairs in the workload.
+    pub total_pairs: usize,
+    /// Distinct bulk jobs in the workload (each pair's job set counted
+    /// once; every comparison replays the same sets).
+    pub total_jobs: u64,
+    /// Engine-vs-engine comparisons; each must clear `min_speedup`.
+    pub comparisons: Vec<Comparison>,
+    /// Hard floor: the event engine may never be slower than the tick
+    /// engine (CI fails below this).
+    pub min_speedup: f64,
+    /// The acceptance target the scaled workload is expected to clear.
+    pub target_speedup: f64,
+}
+
+/// Workload scale. 30 days at a ~20.8-minute mean interarrival gives
+/// ~2,073 jobs per pair, so 50 pairs clear the 100k-job floor.
+const PAIRS: usize = 50;
+const HORIZON_DAYS: u64 = 30;
+const TICK_SECS: u64 = 60;
+/// Live-controller pairs for the BoD comparison (each cell owns two
+/// controllers across the two engine passes).
+const BOD_PAIRS: usize = 6;
+/// Timing passes per engine side; the reported wall time is the
+/// minimum. The event sweeps finish in tens of milliseconds, where a
+/// single sample is dominated by thread-spawn and scheduler jitter.
+const TIMING_PASSES: u32 = 3;
+
+/// Run `f` [`TIMING_PASSES`] times; return its (deterministic) result
+/// and the best wall time in nanoseconds.
+fn timed_best<T>(mut f: impl FnMut() -> T) -> (T, u64) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..TIMING_PASSES {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+        out = Some(v);
+    }
+    (out.expect("TIMING_PASSES >= 1"), best)
+}
+
+fn engine_case(engine: &str, wall_ns: u64, units: u64) -> EngineCase {
+    EngineCase {
+        engine: engine.to_string(),
+        wall_ns,
+        units,
+        units_per_sec: units as f64 / (wall_ns as f64 / 1e9),
+    }
+}
+
+fn compare(name: &str, pairs: usize, jobs: u64, tick: EngineCase, event: EngineCase) -> Comparison {
+    let speedup = tick.wall_ns as f64 / event.wall_ns as f64;
+    Comparison {
+        name: name.to_string(),
+        pairs,
+        jobs,
+        tick,
+        event,
+        speedup,
+    }
+}
+
+/// Run every comparison and build the report.
+pub fn run() -> CloudReport {
+    let horizon = SimDuration::from_hours(24 * HORIZON_DAYS);
+    let tick = SimDuration::from_secs(TICK_SECS);
+    let ticks_per_pair = horizon.as_nanos() / tick.as_nanos();
+
+    // One deterministic job set per pair.
+    let pair_jobs: Vec<Vec<BulkJob>> = (0..PAIRS as u64)
+        .map(|i| {
+            let cfg = WorkloadConfig {
+                bulk_interarrival: SimDuration::from_secs(1250),
+                bulk_max: DataSize::from_terabytes(8),
+                ..WorkloadConfig::default()
+            };
+            let mut gen = WorkloadGenerator::new(cfg, 9000 + i);
+            gen.bulk_jobs(DataCenterId::new(0), DataCenterId::new(1), horizon)
+        })
+        .collect();
+    let total_jobs: u64 = pair_jobs.iter().map(|j| j.len() as u64).sum();
+    assert!(
+        total_jobs >= 100_000,
+        "workload under the 100k-job floor: {total_jobs}"
+    );
+
+    // A realistic coarse diurnal: the generator's curve held constant
+    // over each hour (hour boundaries are tick-aligned at the 60 s
+    // tick). Far past the horizon so the relay phase shifts stay in
+    // range.
+    let gen_ref = WorkloadGenerator::new(WorkloadConfig::default(), 0);
+    let diurnal_hourly = |t: SimTime| {
+        let hour = SimDuration::from_hours(1);
+        let whole_hours = t.since(SimTime::ZERO).as_nanos() / hour.as_nanos();
+        gen_ref.interactive_rate(SimTime::ZERO + hour * whole_hours)
+    };
+    let interactive = RateProfile::sampled(
+        diurnal_hourly,
+        SimTime::ZERO + horizon + SimDuration::from_hours(17),
+        SimDuration::from_hours(1),
+    );
+
+    // -- Comparison 1: static 40G line, 50 pairs sharded. --------------
+    let static_line = StaticLinePolicy {
+        line: DataRate::from_gbps(40),
+    };
+    let (tick_static, tick_static_ns): (Vec<PolicyOutcome>, u64) = timed_best(|| {
+        parallel_cells(pair_jobs.clone(), |jobs| {
+            static_line.run_tick_reference(jobs, horizon, tick, &diurnal_hourly)
+        })
+    });
+    let (event_static, event_static_ns): (Vec<PolicyOutcome>, u64) = timed_best(|| {
+        parallel_cells(pair_jobs.clone(), |jobs| {
+            static_line.run(jobs, horizon, tick, &interactive)
+        })
+    });
+    assert_eq!(
+        event_static, tick_static,
+        "static-line event engine diverged from the tick oracle"
+    );
+
+    // -- Comparison 2: store-and-forward, 50 pairs sharded. ------------
+    let snf = StoreForwardPolicy {
+        line: DataRate::from_gbps(10),
+        relays: 2,
+        relay_phase_hours: 8.0,
+    };
+    let (tick_snf, tick_snf_ns): (Vec<PolicyOutcome>, u64) = timed_best(|| {
+        parallel_cells(pair_jobs.clone(), |jobs| {
+            snf.run_tick_reference(jobs, horizon, tick, &diurnal_hourly)
+        })
+    });
+    let (event_snf, event_snf_ns): (Vec<PolicyOutcome>, u64) = timed_best(|| {
+        parallel_cells(pair_jobs.clone(), |jobs| {
+            snf.run(jobs, horizon, tick, &interactive)
+        })
+    });
+    assert_eq!(
+        event_snf, tick_snf,
+        "store-and-forward event engine diverged from the tick oracle"
+    );
+
+    // -- Comparison 3: BoD with one live controller per pair. ----------
+    let bod = BodPolicy {
+        max_rate: DataRate::from_gbps(40),
+        drain_target: SimDuration::from_hours(1),
+        idle_release: SimDuration::from_mins(10),
+    };
+    let bod_jobs: Vec<Vec<BulkJob>> = pair_jobs[..BOD_PAIRS].to_vec();
+    let bod_job_count: u64 = bod_jobs.iter().map(|j| j.len() as u64).sum();
+    let bod_cell = |jobs: Vec<BulkJob>, event: bool| {
+        let (mut ctl, ids) = quiet_testbed(10);
+        let csp = ctl.tenants.register("bench", DataRate::from_gbps(400));
+        if event {
+            bod.run(&mut ctl, csp, ids.i, ids.iv, jobs, horizon, tick)
+        } else {
+            bod.run_tick_reference(&mut ctl, csp, ids.i, ids.iv, jobs, horizon, tick)
+        }
+    };
+    let (tick_bod, tick_bod_ns): (Vec<PolicyOutcome>, u64) =
+        timed_best(|| parallel_cells(bod_jobs.clone(), |jobs| bod_cell(jobs, false)));
+    let (event_bod, event_bod_ns): (Vec<PolicyOutcome>, u64) =
+        timed_best(|| parallel_cells(bod_jobs.clone(), |jobs| bod_cell(jobs, true)));
+    assert_eq!(
+        event_bod, tick_bod,
+        "BoD event engine diverged from the tick oracle"
+    );
+
+    CloudReport {
+        benchmark: "bench_cloud".to_string(),
+        horizon_days: HORIZON_DAYS,
+        tick_secs: TICK_SECS,
+        total_pairs: PAIRS,
+        total_jobs,
+        comparisons: vec![
+            compare(
+                "static_40g_line",
+                PAIRS,
+                total_jobs,
+                engine_case("tick", tick_static_ns, ticks_per_pair * PAIRS as u64),
+                engine_case("event", event_static_ns, 2 * total_jobs),
+            ),
+            compare(
+                "store_and_forward",
+                PAIRS,
+                total_jobs,
+                engine_case("tick", tick_snf_ns, ticks_per_pair * PAIRS as u64),
+                engine_case("event", event_snf_ns, 2 * total_jobs),
+            ),
+            compare(
+                "bod_live_controller",
+                BOD_PAIRS,
+                bod_job_count,
+                engine_case("tick", tick_bod_ns, ticks_per_pair * BOD_PAIRS as u64),
+                engine_case("event", event_bod_ns, 2 * bod_job_count),
+            ),
+        ],
+        min_speedup: 1.0,
+        target_speedup: 10.0,
+    }
+}
+
+/// Run the benchmark, write `BENCH_cloud.json`, and return a
+/// human-readable summary. Panics (non-zero exit) if any comparison
+/// falls below the `min_speedup` floor.
+pub fn emit(path: &str) -> String {
+    let report = run();
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, &json).expect("write BENCH_cloud.json");
+    let mut out = format!(
+        "wrote {path}\n  workload: {} pairs, {} jobs, {} days at {} s ticks\n",
+        report.total_pairs, report.total_jobs, report.horizon_days, report.tick_secs
+    );
+    for c in &report.comparisons {
+        out.push_str(&format!(
+            "  {:<22} {:>8.2} ms tick -> {:>8.2} ms event  ({:.1}x, {:.0} events/s)\n",
+            c.name,
+            c.tick.wall_ns as f64 / 1e6,
+            c.event.wall_ns as f64 / 1e6,
+            c.speedup,
+            c.event.units_per_sec,
+        ));
+        assert!(
+            c.speedup >= report.min_speedup,
+            "event engine slower than tick engine on {}: {:.2}x",
+            c.name,
+            c.speedup
+        );
+    }
+    let worst = report
+        .comparisons
+        .iter()
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "  worst speedup {worst:.1}x (floor {:.0}x, target {:.0}x)",
+        report.min_speedup, report.target_speedup
+    ));
+    out
+}

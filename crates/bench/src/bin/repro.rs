@@ -3,10 +3,11 @@
 //! ```text
 //! cargo run -p griphon-bench --bin repro -- <target>
 //!
-//! targets: table1 table2 fig1 fig2 fig3 fig4
+//! targets: table1 table2 fig1 fig2 fig3 fig4 fig6 fig7
 //!          e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite
 //!          e5-bulk e6-grooming e7-ablation e8-protection e9-planning e10-sla all
 //!          bench-rwa (writes BENCH_rwa.json)
+//!          bench-cloud (writes BENCH_cloud.json)
 //! ```
 //!
 //! See `EXPERIMENTS.md` for each target's output recorded against the
@@ -24,6 +25,8 @@ fn main() {
         "fig2" => exp::fig_layers(true),
         "fig3" => exp::fig3(),
         "fig4" => exp::fig4(),
+        "fig6" => exp::fig6(),
+        "fig7" => exp::fig7(),
         "e1-teardown" => exp::e1_teardown(),
         "e2-restoration" => exp::e2_restoration(),
         "e2b-parallelism" => exp::e2b_parallelism(),
@@ -39,11 +42,12 @@ fn main() {
         "perf" => exp::perf(),
         "all" => exp::all(),
         "bench-rwa" => griphon_bench::bench_json::emit("BENCH_rwa.json"),
+        "bench-cloud" => griphon_bench::bench_cloud::emit("BENCH_cloud.json"),
         other => {
             eprintln!(
-                "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 \
+                "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 fig6 fig7 \
                  e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite e5-bulk e5b-full-mesh \
-                 e6-grooming e7-ablation e8-protection e9-planning e10-sla bench-rwa all"
+                 e6-grooming e7-ablation e8-protection e9-planning e10-sla bench-rwa bench-cloud all"
             );
             std::process::exit(2);
         }

@@ -8,6 +8,7 @@
 
 #![deny(missing_docs)]
 
+pub mod bench_cloud;
 pub mod bench_json;
 pub mod experiments;
 pub mod scenario;

@@ -21,6 +21,10 @@
 //!   a statically-sized leased line, GRIPhoN BoD (request wavelengths
 //!   when a backlog builds, release when drained), and a
 //!   store-and-forward relay baseline in the spirit of NetStitcher.
+//!   Policies run event-driven (cost scales with state changes, not
+//!   horizon/tick) with the original tick loops kept as oracles.
+//! - [`profile`] — piecewise-constant interactive-load profiles, the
+//!   breakpoint representation the event engine fast-forwards between.
 //! - [`cost`] — the carrier-price model: flat monthly leased-line
 //!   pricing vs usage-based BoD, the economics behind Table 1.
 
@@ -28,7 +32,9 @@
 
 pub mod cost;
 pub mod datacenter;
+mod event;
 pub mod portal;
+pub mod profile;
 pub mod replication;
 pub mod scheduler;
 pub mod transfer;
@@ -37,6 +43,7 @@ pub mod workload;
 pub use cost::CostModel;
 pub use datacenter::{DataCenter, DataCenterId, DataCenterSet};
 pub use portal::{CspPortal, PortalError};
+pub use profile::RateProfile;
 pub use replication::ReplicationPolicy;
 pub use scheduler::{
     BodPolicy, DeadlineBodPolicy, MultiPairBod, PolicyOutcome, StaticLinePolicy, StoreForwardPolicy,

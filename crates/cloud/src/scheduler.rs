@@ -17,7 +17,15 @@
 //!   simulation faithfully inflicts via the `griphon` controller.
 //!
 //! All policies process a pair's jobs FIFO (bulk replication is
-//! throughput work, not latency work) and advance in fixed ticks.
+//! throughput work, not latency work). Decisions happen on a fixed tick
+//! grid, but the default `run` methods are *event-driven*: they compute
+//! the next instant at which a decision could change — job arrival,
+//! transfer completion, interactive-traffic breakpoint, idle-release
+//! expiry, controller event — and fast-forward through the provably
+//! inert ticks in between with exact quantized arithmetic (see
+//! [`crate::event`]). Every policy keeps its original fixed-tick loop as
+//! `run_tick_reference`, the oracle the event engine must match
+//! byte-for-byte when decisions are restricted to tick boundaries.
 
 use simcore::{DataRate, DataSize, SimDuration, SimTime};
 
@@ -25,6 +33,8 @@ use griphon::controller::Controller;
 use griphon::{ConnState, ConnectionId, CustomerId};
 use photonic::{LineRate, RoadmId};
 
+use crate::event::{grid_ceil, FifoQueue};
+use crate::profile::RateProfile;
 use crate::transfer::{Transfer, TransferLog};
 use crate::workload::BulkJob;
 
@@ -108,6 +118,65 @@ impl PairRun {
     }
 }
 
+/// Bandwidth in service (`Active`) and bandwidth committed
+/// (`Active` or `Provisioning`) across a member list, in one pass.
+fn member_rates(ctl: &Controller, members: &[ConnectionId]) -> (DataRate, DataRate) {
+    let mut active = DataRate::ZERO;
+    let mut committed = DataRate::ZERO;
+    for id in members {
+        if let Some(c) = ctl.connection(*id) {
+            match c.state {
+                ConnState::Active => {
+                    active += c.kind.rate();
+                    committed += c.kind.rate();
+                }
+                ConnState::Provisioning => committed += c.kind.rate(),
+                _ => {}
+            }
+        }
+    }
+    (active, committed)
+}
+
+/// The rate [`BodPolicy`] wants: drain the backlog within the target,
+/// capped by the access pipe.
+fn backlog_desired(backlog: DataSize, drain_target: SimDuration, max_rate: DataRate) -> DataRate {
+    let desired_bps =
+        (backlog.bits() as f64 / drain_target.as_secs_f64()).min(max_rate.bps() as f64) as u64;
+    DataRate::from_bps(desired_bps)
+}
+
+/// The rate [`DeadlineBodPolicy`] needs at `now` to keep every deadline
+/// in `transfers` feasible (shared by the tick and event engines so both
+/// evaluate the identical float expression).
+fn required_rate_for<'a>(
+    transfers: impl Iterator<Item = &'a Transfer>,
+    now: SimTime,
+    provisioning_margin: SimDuration,
+    background_drain: SimDuration,
+    max_rate: DataRate,
+) -> DataRate {
+    let mut needed_bps = 0.0f64;
+    let mut background_bits = 0u64;
+    for t in transfers {
+        match t.job.deadline {
+            Some(d) => {
+                let slack = d
+                    .saturating_since(now)
+                    .saturating_sub(provisioning_margin)
+                    .as_secs_f64()
+                    .max(60.0);
+                // Aggregate: deadlines share the pipe FIFO, so sum the
+                // per-job requirements (conservative).
+                needed_bps += t.remaining.bits() as f64 / slack;
+            }
+            None => background_bits += t.remaining.bits(),
+        }
+    }
+    needed_bps += background_bits as f64 / background_drain.as_secs_f64();
+    DataRate::from_bps((needed_bps as u64).min(max_rate.bps()))
+}
+
 /// A statically provisioned leased line.
 #[derive(Debug, Clone, Copy)]
 pub struct StaticLinePolicy {
@@ -116,8 +185,57 @@ pub struct StaticLinePolicy {
 }
 
 impl StaticLinePolicy {
-    /// Run the pair's jobs; `interactive(t)` has priority on the line.
+    /// Run the pair's jobs event-driven; `interactive` has priority on
+    /// the line. Byte-identical to [`Self::run_tick_reference`] with
+    /// `interactive = |t| profile.rate_at(t)`.
     pub fn run(
+        &self,
+        jobs: Vec<BulkJob>,
+        horizon: SimDuration,
+        tick: SimDuration,
+        interactive: &RateProfile,
+    ) -> PolicyOutcome {
+        let mut q = FifoQueue::new(jobs);
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        while t < end {
+            q.admit(t);
+            if !q.has_work() {
+                // Idle: nothing changes until the next arrival's tick.
+                match q.next_arrival_time() {
+                    None => break,
+                    Some(c) => {
+                        t = grid_ceil(SimTime::ZERO, c, tick);
+                        continue;
+                    }
+                }
+            }
+            let rate = self.line.saturating_sub(interactive.rate_at(t));
+            let mut seg_end = end;
+            if let Some(b) = interactive.next_change_after(t) {
+                seg_end = seg_end.min(grid_ceil(SimTime::ZERO, b, tick));
+            }
+            if let Some(c) = q.next_arrival_time() {
+                seg_end = seg_end.min(grid_ceil(SimTime::ZERO, c, tick));
+            }
+            let n = seg_end.since(t).div_ceil(tick);
+            if q.advance_ticks(t, n, tick, rate).is_some() && q.next_arrival_time().is_none() {
+                break;
+            }
+            t += tick * n;
+        }
+        let hours = horizon.as_secs_f64() / 3600.0;
+        PolicyOutcome {
+            log: TransferLog::summarize(&q.transfers),
+            gbps_hours: self.line.gbps_f64() * hours,
+            peak_gbps: self.line.gbps_f64(),
+            setups: 0,
+        }
+    }
+
+    /// The original fixed-tick loop, kept as the oracle for the event
+    /// engine.
+    pub fn run_tick_reference(
         &self,
         jobs: Vec<BulkJob>,
         horizon: SimDuration,
@@ -175,8 +293,71 @@ impl StoreForwardPolicy {
         total
     }
 
-    /// Run the pair's jobs over harvested capacity only.
+    /// The first instant after `t` at which [`Self::usable_rate`] can
+    /// change: a breakpoint of the profile, either directly or through
+    /// one of the relay phase shifts.
+    fn next_usable_change(&self, t: SimTime, interactive: &RateProfile) -> Option<SimTime> {
+        let mut next = interactive.next_change_after(t);
+        for r in 0..self.relays {
+            let shift =
+                SimDuration::from_secs_f64((r as f64 + 1.0) * self.relay_phase_hours * 3600.0);
+            if let Some(b) = interactive.next_change_after(t + shift) {
+                // Breakpoint seen through the relay's shifted clock.
+                let eff = SimTime::from_nanos(b.as_nanos() - shift.as_nanos());
+                next = Some(next.map_or(eff, |n| n.min(eff)));
+            }
+        }
+        next
+    }
+
+    /// Run the pair's jobs over harvested capacity only, event-driven.
+    /// Byte-identical to [`Self::run_tick_reference`] with
+    /// `interactive = |t| profile.rate_at(t)`.
     pub fn run(
+        &self,
+        jobs: Vec<BulkJob>,
+        horizon: SimDuration,
+        tick: SimDuration,
+        interactive: &RateProfile,
+    ) -> PolicyOutcome {
+        let mut q = FifoQueue::new(jobs);
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        let mut peak: f64 = 0.0;
+        let sample = |x: SimTime| interactive.rate_at(x);
+        while t < end {
+            q.admit(t);
+            let rate = self.usable_rate(t, &sample);
+            // The tick engine tracks peak every tick, including idle
+            // stretches between arrivals, so walk every segment.
+            peak = peak.max(rate.gbps_f64());
+            let mut seg_end = end;
+            if let Some(b) = self.next_usable_change(t, interactive) {
+                seg_end = seg_end.min(grid_ceil(SimTime::ZERO, b, tick));
+            }
+            if let Some(c) = q.next_arrival_time() {
+                seg_end = seg_end.min(grid_ceil(SimTime::ZERO, c, tick));
+            }
+            let n = seg_end.since(t).div_ceil(tick);
+            q.advance_ticks(t, n, tick, rate);
+            if !q.has_work() && q.next_arrival_time().is_none() {
+                break;
+            }
+            t += tick * n;
+        }
+        PolicyOutcome {
+            log: TransferLog::summarize(&q.transfers),
+            // Harvested capacity is already paid for — zero marginal
+            // provisioned bandwidth.
+            gbps_hours: 0.0,
+            peak_gbps: peak,
+            setups: 0,
+        }
+    }
+
+    /// The original fixed-tick loop, kept as the oracle for the event
+    /// engine.
+    pub fn run_tick_reference(
         &self,
         jobs: Vec<BulkJob>,
         horizon: SimDuration,
@@ -199,8 +380,6 @@ impl StoreForwardPolicy {
         }
         PolicyOutcome {
             log: TransferLog::summarize(&run.transfers),
-            // Harvested capacity is already paid for — zero marginal
-            // provisioned bandwidth.
             gbps_hours: 0.0,
             peak_gbps: peak,
             setups: 0,
@@ -230,11 +409,362 @@ impl Default for BodPolicy {
     }
 }
 
+/// How a BoD variant sizes its wavelength orders.
+#[derive(Clone, Copy)]
+enum Sizing {
+    /// Drain the current backlog within a fixed target.
+    Backlog { drain_target: SimDuration },
+    /// Keep every queued deadline feasible.
+    Deadline {
+        provisioning_margin: SimDuration,
+        background_drain: SimDuration,
+    },
+}
+
+/// Parameters shared by all BoD variants.
+#[derive(Clone, Copy)]
+struct BodParams {
+    max_rate: DataRate,
+    idle_release: SimDuration,
+    sizing: Sizing,
+}
+
+/// Per-pair state of the event-driven BoD engine.
+struct PairSim {
+    from: RoadmId,
+    to: RoadmId,
+    q: FifoQueue,
+    members: Vec<ConnectionId>,
+    idle_since: Option<SimTime>,
+    gbit_seconds: f64,
+    peak: f64,
+    setups: u64,
+    /// The last decision tick attempted an order and the carrier refused.
+    /// Refusals have no side effects and persist until controller state
+    /// changes, so a blocked pair is inert for the whole segment.
+    blocked: bool,
+    /// First tick at which `all_done && members.is_empty()` held.
+    done_at: Option<SimTime>,
+}
+
+/// Upper-bound the number of leading ticks of a segment through which a
+/// deadline-sized pair surely stays below `committed` (and therefore
+/// places no order). `required_rate_for` is weakly increasing in time
+/// for a fixed queue (slacks only shrink), and the queue only drains
+/// within a segment, so evaluating the *current* queue at a future tick
+/// bounds every intermediate decision from above. Binary search the
+/// largest safe prefix.
+fn deadline_inert_ticks(
+    q: &FifoQueue,
+    rel_start: SimTime,
+    tick: SimDuration,
+    n: u64,
+    committed: DataRate,
+    params: &BodParams,
+) -> u64 {
+    let Sizing::Deadline {
+        provisioning_margin,
+        background_drain,
+    } = params.sizing
+    else {
+        unreachable!("deadline_inert_ticks is only used with deadline sizing");
+    };
+    let max_rate = params.max_rate;
+    let inert_through = |w: u64| -> bool {
+        // Decisions inside the segment happen at rel_start + i·tick for
+        // i < w; the latest (tightest slack) is at (w-1)·tick.
+        let last = rel_start + tick * (w - 1);
+        required_rate_for(
+            q.unfinished(),
+            last,
+            provisioning_margin,
+            background_drain,
+            max_rate,
+        ) <= committed
+    };
+    if n == 0 || !inert_through(1) {
+        return 0;
+    }
+    if inert_through(n) {
+        return n;
+    }
+    let (mut lo, mut hi) = (1u64, n);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if inert_through(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The event-driven engine shared by [`BodPolicy`], [`MultiPairBod`] and
+/// [`DeadlineBodPolicy`].
+///
+/// Decision ticks replicate the tick engine's per-tick sequence exactly
+/// (controller catch-up, admission, single-pass member rates, advance,
+/// accounting, order/release decision, in pair order). Between decision
+/// ticks the engine proves the policy inert — no arrival, no controller
+/// event, no possible release, and for deadline sizing no crossing of
+/// the committed rate — and replays the whole stretch with
+/// [`FifoQueue::advance_ticks`]. All arithmetic quantizes per tick just
+/// like the oracle, so outcomes are byte-identical.
+fn run_event_bod(
+    ctl: &mut Controller,
+    customer: CustomerId,
+    params: BodParams,
+    pairs: Vec<(RoadmId, RoadmId, Vec<BulkJob>)>,
+    horizon: SimDuration,
+    tick: SimDuration,
+) -> Vec<PolicyOutcome> {
+    let start = ctl.now();
+    let end = start + horizon;
+    let tick_secs = tick.as_secs_f64();
+    let ten_g = DataRate::from_gbps(10);
+    let rel = |abs: SimTime| SimTime::from_nanos(abs.since(start).as_nanos());
+    let mut states: Vec<PairSim> = pairs
+        .into_iter()
+        .map(|(from, to, jobs)| PairSim {
+            from,
+            to,
+            q: FifoQueue::new(jobs),
+            members: Vec::new(),
+            idle_since: None,
+            gbit_seconds: 0.0,
+            peak: 0.0,
+            setups: 0,
+            blocked: false,
+            done_at: None,
+        })
+        .collect();
+    let mut t = start;
+    let mut last_tick: Option<SimTime> = None;
+    let mut finished = false;
+    while t < end {
+        // ── decision tick: the oracle's per-tick sequence, verbatim ──
+        ctl.run_until(t);
+        last_tick = Some(t);
+        let rel_now = rel(t);
+        let mut ordered = false;
+        for st in states.iter_mut() {
+            st.q.admit(rel_now);
+            let (active, committed) = member_rates(ctl, &st.members);
+            st.q.advance_window(rel_now, tick, active);
+            st.gbit_seconds += active.gbps_f64() * tick_secs;
+            st.peak = st.peak.max(active.gbps_f64());
+            st.blocked = false;
+            let backlog = st.q.backlog();
+            if backlog.is_zero() {
+                if !st.members.is_empty() {
+                    match st.idle_since {
+                        None => st.idle_since = Some(t),
+                        Some(since) if t.since(since) >= params.idle_release => {
+                            for id in st.members.drain(..) {
+                                let _ = ctl.request_teardown(id);
+                            }
+                            st.idle_since = None;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                st.idle_since = None;
+                let wants = match params.sizing {
+                    Sizing::Backlog { drain_target } => {
+                        backlog_desired(backlog, drain_target, params.max_rate) > committed
+                    }
+                    Sizing::Deadline {
+                        provisioning_margin,
+                        background_drain,
+                    } => {
+                        required_rate_for(
+                            st.q.unfinished(),
+                            rel_now,
+                            provisioning_margin,
+                            background_drain,
+                            params.max_rate,
+                        ) > committed
+                    }
+                };
+                if wants && committed + ten_g <= params.max_rate {
+                    match ctl.request_wavelength(customer, st.from, st.to, LineRate::Gbps10) {
+                        Ok(id) => {
+                            st.members.push(id);
+                            st.setups += 1;
+                            ordered = true;
+                        }
+                        Err(_) => st.blocked = true,
+                    }
+                }
+            }
+            if st.done_at.is_none() && st.q.all_done() && st.members.is_empty() {
+                st.done_at = Some(t);
+            }
+        }
+        t += tick;
+        if states.iter().all(|st| st.done_at.is_some()) {
+            finished = true;
+            break;
+        }
+        if t >= end {
+            break;
+        }
+        if ordered {
+            // Committed bandwidth changed this tick; the next tick must
+            // re-decide with it in force.
+            continue;
+        }
+
+        // ── plan the longest provably-inert stretch [t, seg_end) ──
+        let mut seg_end = end;
+        if let Some(ev) = ctl.peek_event_time() {
+            seg_end = seg_end.min(grid_ceil(start, ev, tick));
+        }
+        for st in &states {
+            if let Some(c) = st.q.next_arrival_time() {
+                let abs = start + SimDuration::from_nanos(c.as_nanos());
+                seg_end = seg_end.min(grid_ceil(start, abs, tick));
+            }
+            if !st.members.is_empty() {
+                let release_floor = match st.idle_since {
+                    // Release fires at the first tick a full idle_release
+                    // after the queue went idle…
+                    Some(since) => since + params.idle_release,
+                    // …and with a backlog still draining it cannot fire
+                    // before a full idle_release from now.
+                    None => t + params.idle_release,
+                };
+                seg_end = seg_end.min(grid_ceil(start, release_floor, tick));
+            }
+        }
+        let mut n = seg_end.since(t).div_ceil(tick);
+        if matches!(params.sizing, Sizing::Deadline { .. }) {
+            for st in &states {
+                if n == 0 {
+                    break;
+                }
+                if !st.q.has_work() || st.blocked {
+                    continue;
+                }
+                let (_, committed) = member_rates(ctl, &st.members);
+                if committed + ten_g > params.max_rate {
+                    continue; // at the cap: no order possible anyway
+                }
+                n = n.min(deadline_inert_ticks(
+                    &st.q,
+                    rel(t),
+                    tick,
+                    n,
+                    committed,
+                    &params,
+                ));
+            }
+        }
+        if n == 0 {
+            continue; // nothing provably inert: fall back to ticking
+        }
+
+        // ── replay the inert stretch in bulk ──
+        let seg_rel = rel(t);
+        for st in states.iter_mut() {
+            let (active, _) = member_rates(ctl, &st.members);
+            let g = active.gbps_f64();
+            if st.q.has_work() {
+                if let Some(j) = st.q.advance_ticks(seg_rel, n, tick, active) {
+                    let drain_tick = t + tick * j;
+                    if !st.members.is_empty() {
+                        if st.idle_since.is_none() {
+                            st.idle_since = Some(drain_tick);
+                        }
+                    } else if st.done_at.is_none() && st.q.all_done() {
+                        st.done_at = Some(drain_tick);
+                    }
+                }
+            }
+            if g != 0.0 {
+                // Repeat the oracle's float accumulation value-for-value
+                // (same addend, same count, same order).
+                let add = g * tick_secs;
+                for _ in 0..n {
+                    st.gbit_seconds += add;
+                }
+            }
+            st.peak = st.peak.max(g);
+        }
+        last_tick = Some(t + tick * (n - 1));
+        if states.iter().all(|st| st.done_at.is_some()) {
+            finished = true;
+            break;
+        }
+        t += tick * n;
+    }
+    // ── wind down exactly where the oracle's loop stopped ──
+    if finished {
+        // The oracle exits at the tick where the last pair finished; no
+        // controller events can be pending at or before it (any such
+        // event would have bounded the segment).
+        let done = states.iter().filter_map(|st| st.done_at).max();
+        if let Some(j) = done {
+            ctl.run_until(j);
+        }
+    } else if let Some(lt) = last_tick {
+        ctl.run_until(lt);
+    }
+    for st in &mut states {
+        for id in st.members.drain(..) {
+            let _ = ctl.request_teardown(id);
+        }
+    }
+    ctl.run_until_idle();
+    states
+        .into_iter()
+        .map(|st| PolicyOutcome {
+            log: TransferLog::summarize(&st.q.transfers),
+            gbps_hours: st.gbit_seconds / 3600.0,
+            peak_gbps: st.peak,
+            setups: st.setups,
+        })
+        .collect()
+}
+
 impl BodPolicy {
     /// Run the pair's jobs against a live controller. `from`/`to` are
     /// the carrier PoPs of the two data centers.
     #[allow(clippy::too_many_arguments)]
     pub fn run(
+        &self,
+        ctl: &mut Controller,
+        customer: CustomerId,
+        from: RoadmId,
+        to: RoadmId,
+        jobs: Vec<BulkJob>,
+        horizon: SimDuration,
+        tick: SimDuration,
+    ) -> PolicyOutcome {
+        run_event_bod(
+            ctl,
+            customer,
+            BodParams {
+                max_rate: self.max_rate,
+                idle_release: self.idle_release,
+                sizing: Sizing::Backlog {
+                    drain_target: self.drain_target,
+                },
+            },
+            vec![(from, to, jobs)],
+            horizon,
+            tick,
+        )
+        .pop()
+        .expect("one pair in, one outcome out")
+    }
+
+    /// The original fixed-tick loop, kept as the oracle for the event
+    /// engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_tick_reference(
         &self,
         ctl: &mut Controller,
         customer: CustomerId,
@@ -258,19 +788,7 @@ impl BodPolicy {
             // Job times are relative to the policy start.
             let rel_now = SimTime::from_nanos(t.since(start).as_nanos());
             run.admit(rel_now);
-            // Bandwidth actually in service right now.
-            let active_rate: DataRate = members
-                .iter()
-                .filter_map(|id| ctl.connection(*id))
-                .filter(|c| c.state == ConnState::Active)
-                .map(|c| c.kind.rate())
-                .sum();
-            let committed: DataRate = members
-                .iter()
-                .filter_map(|id| ctl.connection(*id))
-                .filter(|c| matches!(c.state, ConnState::Active | ConnState::Provisioning))
-                .map(|c| c.kind.rate())
-                .sum();
+            let (active_rate, committed) = member_rates(ctl, &members);
             run.advance(rel_now, tick, active_rate);
             gbit_seconds += active_rate.gbps_f64() * tick.as_secs_f64();
             peak = peak.max(active_rate.gbps_f64());
@@ -291,9 +809,7 @@ impl BodPolicy {
                 }
             } else {
                 idle_since = None;
-                let desired_bps = (backlog.bits() as f64 / self.drain_target.as_secs_f64())
-                    .min(self.max_rate.bps() as f64) as u64;
-                if DataRate::from_bps(desired_bps) > committed
+                if backlog_desired(backlog, self.drain_target, self.max_rate) > committed
                     && committed + DataRate::from_gbps(10) <= self.max_rate
                 {
                     // Grow one wavelength per tick (measured pace, avoids
@@ -347,6 +863,32 @@ impl MultiPairBod {
         horizon: SimDuration,
         tick: SimDuration,
     ) -> Vec<PolicyOutcome> {
+        run_event_bod(
+            ctl,
+            customer,
+            BodParams {
+                max_rate: self.policy.max_rate,
+                idle_release: self.policy.idle_release,
+                sizing: Sizing::Backlog {
+                    drain_target: self.policy.drain_target,
+                },
+            },
+            pairs,
+            horizon,
+            tick,
+        )
+    }
+
+    /// The original fixed-tick loop, kept as the oracle for the event
+    /// engine.
+    pub fn run_tick_reference(
+        &self,
+        ctl: &mut Controller,
+        customer: CustomerId,
+        pairs: Vec<(RoadmId, RoadmId, Vec<BulkJob>)>,
+        horizon: SimDuration,
+        tick: SimDuration,
+    ) -> Vec<PolicyOutcome> {
         struct PairState {
             from: RoadmId,
             to: RoadmId,
@@ -378,20 +920,7 @@ impl MultiPairBod {
             let rel_now = SimTime::from_nanos(t.since(start).as_nanos());
             for st in &mut states {
                 st.run.admit(rel_now);
-                let active_rate: DataRate = st
-                    .members
-                    .iter()
-                    .filter_map(|id| ctl.connection(*id))
-                    .filter(|c| c.state == ConnState::Active)
-                    .map(|c| c.kind.rate())
-                    .sum();
-                let committed: DataRate = st
-                    .members
-                    .iter()
-                    .filter_map(|id| ctl.connection(*id))
-                    .filter(|c| matches!(c.state, ConnState::Active | ConnState::Provisioning))
-                    .map(|c| c.kind.rate())
-                    .sum();
+                let (active_rate, committed) = member_rates(ctl, &st.members);
                 st.run.advance(rel_now, tick, active_rate);
                 st.gbit_seconds += active_rate.gbps_f64() * tick.as_secs_f64();
                 st.peak = st.peak.max(active_rate.gbps_f64());
@@ -411,10 +940,8 @@ impl MultiPairBod {
                     }
                 } else {
                     st.idle_since = None;
-                    let desired_bps =
-                        (backlog.bits() as f64 / self.policy.drain_target.as_secs_f64())
-                            .min(self.policy.max_rate.bps() as f64) as u64;
-                    if DataRate::from_bps(desired_bps) > committed
+                    if backlog_desired(backlog, self.policy.drain_target, self.policy.max_rate)
+                        > committed
                         && committed + DataRate::from_gbps(10) <= self.policy.max_rate
                     {
                         if let Ok(id) =
@@ -483,30 +1010,50 @@ impl Default for DeadlineBodPolicy {
 impl DeadlineBodPolicy {
     /// The rate needed right now to keep every deadline feasible.
     fn required_rate(&self, run: &PairRun, now: SimTime) -> DataRate {
-        let mut needed_bps = 0.0f64;
-        let mut background_bits = 0u64;
-        for t in run.transfers.iter().filter(|t| !t.is_done()) {
-            match t.job.deadline {
-                Some(d) => {
-                    let slack = d
-                        .saturating_since(now)
-                        .saturating_sub(self.provisioning_margin)
-                        .as_secs_f64()
-                        .max(60.0);
-                    // Aggregate: deadlines share the pipe FIFO, so sum
-                    // the per-job requirements (conservative).
-                    needed_bps += t.remaining.bits() as f64 / slack;
-                }
-                None => background_bits += t.remaining.bits(),
-            }
-        }
-        needed_bps += background_bits as f64 / self.background_drain.as_secs_f64();
-        DataRate::from_bps((needed_bps as u64).min(self.max_rate.bps()))
+        required_rate_for(
+            run.transfers.iter().filter(|t| !t.is_done()),
+            now,
+            self.provisioning_margin,
+            self.background_drain,
+            self.max_rate,
+        )
     }
 
-    /// Run the pair's jobs against a live controller.
+    /// Run the pair's jobs against a live controller, event-driven.
     #[allow(clippy::too_many_arguments)]
     pub fn run(
+        &self,
+        ctl: &mut Controller,
+        customer: CustomerId,
+        from: RoadmId,
+        to: RoadmId,
+        jobs: Vec<BulkJob>,
+        horizon: SimDuration,
+        tick: SimDuration,
+    ) -> PolicyOutcome {
+        run_event_bod(
+            ctl,
+            customer,
+            BodParams {
+                max_rate: self.max_rate,
+                idle_release: self.idle_release,
+                sizing: Sizing::Deadline {
+                    provisioning_margin: self.provisioning_margin,
+                    background_drain: self.background_drain,
+                },
+            },
+            vec![(from, to, jobs)],
+            horizon,
+            tick,
+        )
+        .pop()
+        .expect("one pair in, one outcome out")
+    }
+
+    /// The original fixed-tick loop, kept as the oracle for the event
+    /// engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_tick_reference(
         &self,
         ctl: &mut Controller,
         customer: CustomerId,
@@ -529,18 +1076,7 @@ impl DeadlineBodPolicy {
             ctl.run_until(t);
             let rel_now = SimTime::from_nanos(t.since(start).as_nanos());
             run.admit(rel_now);
-            let active_rate: DataRate = members
-                .iter()
-                .filter_map(|id| ctl.connection(*id))
-                .filter(|c| c.state == ConnState::Active)
-                .map(|c| c.kind.rate())
-                .sum();
-            let committed: DataRate = members
-                .iter()
-                .filter_map(|id| ctl.connection(*id))
-                .filter(|c| matches!(c.state, ConnState::Active | ConnState::Provisioning))
-                .map(|c| c.kind.rate())
-                .sum();
+            let (active_rate, committed) = member_rates(ctl, &members);
             run.advance(rel_now, tick, active_rate);
             gbit_seconds += active_rate.gbps_f64() * tick.as_secs_f64();
             peak = peak.max(active_rate.gbps_f64());
@@ -605,10 +1141,6 @@ mod tests {
         }
     }
 
-    fn no_interactive(_: SimTime) -> DataRate {
-        DataRate::ZERO
-    }
-
     #[test]
     fn static_line_fifo_completion() {
         let p = StaticLinePolicy {
@@ -619,7 +1151,7 @@ mod tests {
             vec![job(0, 1, 0), job(1, 1, 0)],
             SimDuration::from_hours(1),
             SimDuration::from_secs(10),
-            &no_interactive,
+            &RateProfile::flat(DataRate::ZERO),
         );
         assert_eq!(out.log.completed, 2);
         // FIFO: first ≈800 s, second ≈1600 s.
@@ -633,12 +1165,11 @@ mod tests {
         let p = StaticLinePolicy {
             line: DataRate::from_gbps(10),
         };
-        let busy = |_: SimTime| DataRate::from_gbps(8);
         let out = p.run(
             vec![job(0, 1, 0)],
             SimDuration::from_hours(2),
             SimDuration::from_secs(10),
-            &busy,
+            &RateProfile::flat(DataRate::from_gbps(8)),
         );
         // Only 2 G left → 4000 s.
         assert_eq!(out.log.completed, 1);
@@ -659,11 +1190,156 @@ mod tests {
             vec![job(0, 1, 0)],
             SimDuration::from_hours(2),
             SimDuration::from_secs(10),
-            &busy,
+            &RateProfile::flat(DataRate::from_gbps(8)),
         );
         assert_eq!(out.log.completed, 1);
         assert!(out.log.mean_completion_secs < 2100.0);
         assert_eq!(out.gbps_hours, 0.0, "harvested capacity is free");
+    }
+
+    /// A stepped diurnal-ish profile whose breakpoints sit on (or off)
+    /// the tick grid, to stress the grid-snapping logic.
+    fn stepped_profile() -> RateProfile {
+        RateProfile::from_steps(vec![
+            (SimTime::from_secs(0), DataRate::from_gbps(1)),
+            (SimTime::from_secs(95), DataRate::from_gbps(7)),
+            (SimTime::from_secs(3600), DataRate::from_gbps(3)),
+            (SimTime::from_secs(5403), DataRate::ZERO),
+            (SimTime::from_secs(9000), DataRate::from_gbps(9)),
+        ])
+    }
+
+    #[test]
+    fn static_event_engine_matches_tick_oracle() {
+        let p = StaticLinePolicy {
+            line: DataRate::from_gbps(10),
+        };
+        let profile = stepped_profile();
+        let jobs = vec![
+            job(0, 2, 0),
+            job(1, 1, 500),
+            job(2, 3, 7000),
+            job(3, 1, 7000),
+        ];
+        let horizon = SimDuration::from_hours(9);
+        let tick = SimDuration::from_secs(60);
+        let event = p.run(jobs.clone(), horizon, tick, &profile);
+        let oracle = p.run_tick_reference(jobs, horizon, tick, &|t| profile.rate_at(t));
+        assert_eq!(event, oracle);
+    }
+
+    #[test]
+    fn store_forward_event_engine_matches_tick_oracle() {
+        let p = StoreForwardPolicy {
+            line: DataRate::from_gbps(10),
+            relays: 2,
+            relay_phase_hours: 0.7,
+        };
+        let profile = stepped_profile();
+        let jobs = vec![job(0, 2, 0), job(1, 4, 4000), job(2, 1, 12000)];
+        let horizon = SimDuration::from_hours(12);
+        let tick = SimDuration::from_secs(60);
+        let event = p.run(jobs.clone(), horizon, tick, &profile);
+        let oracle = p.run_tick_reference(jobs, horizon, tick, &|t| profile.rate_at(t));
+        assert_eq!(event, oracle);
+    }
+
+    #[test]
+    fn bod_event_engine_matches_tick_oracle() {
+        let policy = BodPolicy {
+            max_rate: DataRate::from_gbps(20),
+            drain_target: SimDuration::from_mins(30),
+            idle_release: SimDuration::from_mins(5),
+        };
+        let jobs = vec![job(0, 2, 0), job(1, 1, 9000), job(2, 4, 9030)];
+        let horizon = SimDuration::from_hours(8);
+        let tick = SimDuration::from_secs(30);
+        let (mut ctl_a, from_a, to_a, csp_a) = bod_setup();
+        let event = policy.run(&mut ctl_a, csp_a, from_a, to_a, jobs.clone(), horizon, tick);
+        let (mut ctl_b, from_b, to_b, csp_b) = bod_setup();
+        let oracle =
+            policy.run_tick_reference(&mut ctl_b, csp_b, from_b, to_b, jobs, horizon, tick);
+        assert_eq!(event, oracle);
+        assert_eq!(ctl_a.now(), ctl_b.now(), "clocks must agree");
+        assert_eq!(ctl_a.events_processed(), ctl_b.events_processed());
+        assert_eq!(ctl_a.trace.dump(), ctl_b.trace.dump());
+    }
+
+    #[test]
+    fn deadline_event_engine_matches_tick_oracle() {
+        let policy = DeadlineBodPolicy::default();
+        let mk = |id: u32, tb: u64, created_s: u64, deadline_s: Option<u64>| BulkJob {
+            id: JobId::new(id),
+            from: DataCenterId::new(0),
+            to: DataCenterId::new(1),
+            size: DataSize::from_terabytes(tb),
+            created: SimTime::from_secs(created_s),
+            deadline: deadline_s.map(SimTime::from_secs),
+        };
+        let jobs = vec![
+            mk(0, 2, 0, Some(4 * 3600)),
+            mk(1, 1, 1000, None),
+            mk(2, 5, 7200, Some(9 * 3600)),
+        ];
+        let horizon = SimDuration::from_hours(12);
+        let tick = SimDuration::from_secs(60);
+        let (mut ctl_a, from_a, to_a, csp_a) = bod_setup();
+        let event = policy.run(&mut ctl_a, csp_a, from_a, to_a, jobs.clone(), horizon, tick);
+        let (mut ctl_b, from_b, to_b, csp_b) = bod_setup();
+        let oracle =
+            policy.run_tick_reference(&mut ctl_b, csp_b, from_b, to_b, jobs, horizon, tick);
+        assert_eq!(event, oracle);
+        assert_eq!(ctl_a.trace.dump(), ctl_b.trace.dump());
+    }
+
+    #[test]
+    fn multi_pair_event_engine_matches_tick_oracle() {
+        let mk_ctl = || {
+            let (net, ids) = photonic::PhotonicNetwork::testbed(6);
+            let mut ctl = Controller::new(
+                net,
+                ControllerConfig {
+                    ems: EmsProfile::calibrated_deterministic(),
+                    equalization: EqualizationModel::calibrated_deterministic(),
+                    ..ControllerConfig::default()
+                },
+            );
+            let csp = ctl.tenants.register("acme", DataRate::from_gbps(400));
+            (ctl, ids, csp)
+        };
+        let mk = |id: u32, tb: u64, created_s: u64| BulkJob {
+            id: JobId::new(id),
+            from: DataCenterId::new(0),
+            to: DataCenterId::new(1),
+            size: DataSize::from_terabytes(tb),
+            created: SimTime::from_secs(created_s),
+            deadline: None,
+        };
+        let runner = MultiPairBod {
+            policy: BodPolicy {
+                max_rate: DataRate::from_gbps(20),
+                drain_target: SimDuration::from_mins(30),
+                idle_release: SimDuration::from_mins(5),
+            },
+        };
+        let horizon = SimDuration::from_hours(8);
+        let tick = SimDuration::from_secs(60);
+        let (mut ctl_a, ids_a, csp_a) = mk_ctl();
+        let pairs_a = vec![
+            (ids_a.i, ids_a.iv, vec![mk(0, 4, 0), mk(3, 2, 14000)]),
+            (ids_a.i, ids_a.iii, vec![mk(1, 2, 600)]),
+            (ids_a.iii, ids_a.iv, vec![mk(2, 6, 3000)]),
+        ];
+        let event = runner.run(&mut ctl_a, csp_a, pairs_a, horizon, tick);
+        let (mut ctl_b, ids_b, csp_b) = mk_ctl();
+        let pairs_b = vec![
+            (ids_b.i, ids_b.iv, vec![mk(0, 4, 0), mk(3, 2, 14000)]),
+            (ids_b.i, ids_b.iii, vec![mk(1, 2, 600)]),
+            (ids_b.iii, ids_b.iv, vec![mk(2, 6, 3000)]),
+        ];
+        let oracle = runner.run_tick_reference(&mut ctl_b, csp_b, pairs_b, horizon, tick);
+        assert_eq!(event, oracle);
+        assert_eq!(ctl_a.trace.dump(), ctl_b.trace.dump());
     }
 
     fn bod_setup() -> (Controller, RoadmId, RoadmId, CustomerId) {

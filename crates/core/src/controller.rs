@@ -348,6 +348,14 @@ impl Controller {
         while self.step().is_some() {}
     }
 
+    /// Timestamp of the next pending controller event, without processing
+    /// it. Lets external engines (the event-driven workload scheduler)
+    /// fast-forward to exactly the next point at which controller state
+    /// can change.
+    pub fn peek_event_time(&mut self) -> Option<SimTime> {
+        self.sched.peek_time()
+    }
+
     /// Total events the controller has processed (throughput metric).
     pub fn events_processed(&self) -> u64 {
         self.sched.events_delivered()

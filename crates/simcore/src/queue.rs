@@ -13,6 +13,10 @@
 //! 2. Cancellation is tombstone-based: [`Scheduler::cancel`] marks the
 //!    [`EventId`]; cancelled entries are skipped lazily at pop time, so
 //!    cancel is O(1) and pop stays O(log n) amortised.
+//!
+//! Bookkeeping memory is O(pending events): the scheduler tracks which
+//! sequence numbers are still in the heap, not which ones ever fired, so
+//! arbitrarily long simulations run in bounded space.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -58,8 +62,13 @@ impl<E> PartialOrd for Entry<E> {
 /// event's timestamp. Scheduling into the past is a logic error and panics.
 pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Tombstones for cancelled entries still sitting in the heap; drained
+    /// lazily by `skip_cancelled`, so never larger than the heap.
     cancelled: HashSet<u64>,
-    fired: HashSet<u64>,
+    /// Sequence numbers currently pending (in the heap, not cancelled).
+    /// An id is live iff it is here, which makes `cancel` exact without
+    /// remembering every event ever delivered.
+    live: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -77,7 +86,7 @@ impl<E> Scheduler<E> {
         Scheduler {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
-            fired: HashSet::new(),
+            live: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
@@ -91,7 +100,15 @@ impl<E> Scheduler<E> {
 
     /// Number of live (non-cancelled) events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
+    }
+
+    /// Size of the internal bookkeeping sets (live ids + tombstones).
+    ///
+    /// Exposed for memory-regression tests: this stays O(pending) no
+    /// matter how many events have ever been scheduled or delivered.
+    pub fn bookkeeping_len(&self) -> usize {
+        self.live.len() + self.cancelled.len()
     }
 
     /// True if no live events remain.
@@ -117,6 +134,7 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.live.insert(seq);
         EventId(seq)
     }
 
@@ -128,19 +146,15 @@ impl<E> Scheduler<E> {
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending, `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        // An id is pending iff it is in the live set; delivered, cancelled,
+        // and never-issued ids all fail the removal below. The entry itself
+        // stays in the heap as a tombstone and is skipped lazily at pop.
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
         }
-        // Insert a tombstone; pop() skips it. We cannot tell "already
-        // fired" apart from "never existed" without a side table, so track
-        // fired ids implicitly: an id is pending iff its entry is still in
-        // the heap, which we approximate by the tombstone set not already
-        // containing it and the heap not yet having delivered it.
-        if self.fired.contains(&id.0) || self.cancelled.contains(&id.0) {
-            return false;
-        }
-        self.cancelled.insert(id.0);
-        true
     }
 
     /// Timestamp of the next live event, if any, without popping it.
@@ -156,7 +170,7 @@ impl<E> Scheduler<E> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.popped += 1;
-        self.fired.insert(entry.seq);
+        self.live.remove(&entry.seq);
         Some((entry.at, entry.event))
     }
 
@@ -193,24 +207,16 @@ impl<E> Scheduler<E> {
             }
         }
     }
-}
 
-// `fired` lives outside the struct literal ordering above purely for doc
-// clarity; declare it here via a second impl-level field is impossible in
-// Rust, so the struct actually carries it. (See struct definition below.)
-//
-// NOTE: the `fired` set only holds ids that were delivered *and* later
-// queried by `cancel`; to bound memory we prune it opportunistically.
-impl<E> Scheduler<E> {
-    /// Drop bookkeeping for delivered events older than the oldest pending
-    /// one. Call occasionally in very long simulations; behaviour is
-    /// unaffected, only `cancel()` on long-fired ids may return `true`
-    /// spuriously after pruning (documented trade-off).
+    /// Release excess capacity held by the internal collections.
+    ///
+    /// Bookkeeping is already bounded by the number of pending events, so
+    /// this only returns allocator space after a burst; behaviour is
+    /// completely unaffected. Kept for API compatibility.
     pub fn compact(&mut self) {
-        if self.heap.is_empty() {
-            self.fired.clear();
-            self.cancelled.clear();
-        }
+        self.heap.shrink_to_fit();
+        self.live.shrink_to_fit();
+        self.cancelled.shrink_to_fit();
     }
 }
 
@@ -337,5 +343,35 @@ mod tests {
         while s.pop().is_some() {}
         s.compact();
         assert!(s.is_empty());
+    }
+
+    /// Bookkeeping must stay O(pending) over an arbitrarily long run: a
+    /// million schedule/pop/cancel cycles may not leave more than a few
+    /// entries of side-table state behind.
+    #[test]
+    fn bookkeeping_bounded_after_long_churn() {
+        let mut s = Scheduler::new();
+        let mut cancelled_ok = 0u64;
+        for i in 0..1_000_000u64 {
+            let id = s.schedule_at(SimTime::from_secs(i + 1), i);
+            if i % 3 == 0 {
+                // Cancel before delivery: tombstone drains at the next pop.
+                assert!(s.cancel(id));
+                cancelled_ok += 1;
+            } else {
+                let (_, ev) = s.pop().expect("live event pending");
+                assert_eq!(ev, i);
+                // Cancelling after the fact must fail and leave no residue.
+                assert!(!s.cancel(id));
+            }
+        }
+        while s.pop().is_some() {}
+        assert_eq!(cancelled_ok, 333_334);
+        assert_eq!(s.pending(), 0);
+        assert!(
+            s.bookkeeping_len() <= 1,
+            "bookkeeping grew to {} entries after 1M cycles",
+            s.bookkeeping_len()
+        );
     }
 }

@@ -154,6 +154,16 @@ impl SimDuration {
     pub fn mul_f64(self, k: f64) -> SimDuration {
         SimDuration((self.0 as f64 * k.max(0.0)).round() as u64)
     }
+
+    /// How many whole `unit`s are needed to cover this duration
+    /// (ceiling division). Used for snapping event times onto a tick grid.
+    ///
+    /// # Panics
+    /// If `unit` is zero.
+    pub const fn div_ceil(self, unit: SimDuration) -> u64 {
+        assert!(unit.0 > 0, "div_ceil by zero duration");
+        self.0.div_ceil(unit.0)
+    }
 }
 
 impl Add<SimDuration> for SimTime {

@@ -246,9 +246,37 @@ pub mod collection {
     }
 }
 
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy produced by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` values from `inner` three quarters of the time, `None`
+    /// otherwise (upstream proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
 /// Module alias matching `proptest::prelude::prop`.
 pub mod prop {
-    pub use crate::collection;
+    pub use crate::{collection, option};
 }
 
 /// Everything a property test file needs.
