@@ -13,3 +13,4 @@ pub mod bench_json;
 pub mod experiments;
 pub mod scenario;
 pub mod table;
+pub mod trace_target;

@@ -561,6 +561,11 @@ fn run_event_bod(
                     match st.idle_since {
                         None => st.idle_since = Some(t),
                         Some(since) if t.since(since) >= params.idle_release => {
+                            if ctl.spans.is_enabled() {
+                                let sp = ctl.spans.record(t, t, "policy", "policy.release", None);
+                                ctl.spans.attr_u64(sp, "released", st.members.len() as u64);
+                                ctl.spans.attr_u64(sp, "idle_ns", t.since(since).as_nanos());
+                            }
                             for id in st.members.drain(..) {
                                 let _ = ctl.request_teardown(id);
                             }
@@ -591,6 +596,15 @@ fn run_event_bod(
                 if wants && committed + ten_g <= params.max_rate {
                     match ctl.request_wavelength(customer, st.from, st.to, LineRate::Gbps10) {
                         Ok(id) => {
+                            if ctl.spans.is_enabled() {
+                                let sp = ctl.spans.record(t, t, "policy", "policy.order", None);
+                                ctl.spans.attr_u64(sp, "conn", u64::from(id.raw()));
+                                ctl.spans.attr_u64(
+                                    sp,
+                                    "committed_gbps",
+                                    committed.gbps_f64() as u64,
+                                );
+                            }
                             st.members.push(id);
                             st.setups += 1;
                             ordered = true;

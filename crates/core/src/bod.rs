@@ -146,6 +146,16 @@ impl Controller {
         }
         let id = BundleId::new(self.metrics.counter("bod.bundles").get() as u32);
         self.metrics.counter("bod.bundles").incr();
+        if self.spans.is_enabled() {
+            let now = self.now();
+            let sp = self.spans.record(now, now, "policy", "bod.bundle", None);
+            self.spans.attr_u64(sp, "bundle", u64::from(id.raw()));
+            self.spans
+                .attr_u64(sp, "wavelengths_10g", d.wavelengths_10g);
+            self.spans.attr_u64(sp, "otn_1g", d.otn_1g);
+            self.spans
+                .attr_u64(sp, "target_gbps", target.gbps_f64() as u64);
+        }
         self.trace.emit(
             self.now(),
             "bod",

@@ -29,9 +29,11 @@
 //! [`crate::fault`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 use simcore::{
-    LatencyRecorder, MetricsRegistry, Scheduler, SimDuration, SimRng, SimTime, TraceLog,
+    LatencyRecorder, MetricsRegistry, Scheduler, SimDuration, SimRng, SimTime, SpanId,
+    SpanRecorder, TraceLog,
 };
 
 use otn::{OtnSwitch, XcId};
@@ -145,7 +147,7 @@ impl From<RwaError> for RequestError {
 }
 
 /// Workflow completion classes the event loop dispatches on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum WorkflowKind {
     /// Initial provisioning finished → Active.
     Setup,
@@ -200,6 +202,134 @@ pub enum Event {
     },
 }
 
+/// The per-command duration draws of one wavelength setup workflow.
+///
+/// Sampled once at admission by [`Controller::wavelength_setup_sample`].
+/// [`SetupSample::total`] — serial phases, each parallel command group
+/// contributing its max — drives the completion event, and the *same*
+/// draws feed the trace breakdown and the span tree, so every consumer
+/// sees one consistent timeline.
+#[derive(Debug, Clone)]
+pub(crate) struct SetupSample {
+    /// EMS provisioning-session bookkeeping.
+    pub session: SimDuration,
+    /// Client-side FXC switches (parallel pair).
+    pub fxc: [SimDuration; 2],
+    /// Per-node ROADM/WSS configuration (parallel; `hops + 1` entries).
+    pub roadm: Vec<SimDuration>,
+    /// Transponder laser tunes at both ends (parallel pair).
+    pub tune: [SimDuration; 2],
+    /// End-to-end path validation.
+    pub validate: SimDuration,
+    /// Power equalization (see `photonic::power`).
+    pub equalize: SimDuration,
+}
+
+impl SetupSample {
+    /// Duration the parallel FXC pair occupies.
+    pub fn fxc_max(&self) -> SimDuration {
+        self.fxc[0].max(self.fxc[1])
+    }
+
+    /// Duration the parallel per-node ROADM group occupies.
+    pub fn roadm_max(&self) -> SimDuration {
+        self.roadm.iter().copied().max().expect("at least one node")
+    }
+
+    /// Duration the parallel tune pair occupies.
+    pub fn tune_max(&self) -> SimDuration {
+        self.tune[0].max(self.tune[1])
+    }
+
+    /// End-to-end workflow duration.
+    pub fn total(&self) -> SimDuration {
+        self.session
+            + self.fxc_max()
+            + self.roadm_max()
+            + self.tune_max()
+            + self.validate
+            + self.equalize
+    }
+}
+
+impl fmt::Display for SetupSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "session={} fxc={} roadm={} tune={} validate={} equalize={}",
+            self.session,
+            self.fxc_max(),
+            self.roadm_max(),
+            self.tune_max(),
+            self.validate,
+            self.equalize
+        )
+    }
+}
+
+/// Per-command draws of a wavelength teardown workflow:
+/// session → (ROADM deconfigure ∥ OT release) → FXC.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TeardownSample {
+    /// Teardown-order bookkeeping.
+    pub session: SimDuration,
+    /// ROADM/WSS deconfiguration (parallel with the laser release).
+    pub roadm_deconf: SimDuration,
+    /// Transponder laser release (parallel with the deconfigure).
+    pub ot_release: SimDuration,
+    /// Client-side FXC release.
+    pub fxc: SimDuration,
+}
+
+impl TeardownSample {
+    /// Duration the parallel deconfigure/release group occupies.
+    pub fn deconf_max(&self) -> SimDuration {
+        self.roadm_deconf.max(self.ot_release)
+    }
+
+    /// End-to-end workflow duration.
+    pub fn total(&self) -> SimDuration {
+        self.session + self.deconf_max() + self.fxc
+    }
+}
+
+/// Per-command draws of a sub-wavelength (OTN) setup workflow.
+#[derive(Debug, Clone)]
+pub(crate) struct SubwlSetupSample {
+    /// OTN order bookkeeping.
+    pub session: SimDuration,
+    /// Electronic cross-connects, one per switch (parallel).
+    pub xcs: Vec<SimDuration>,
+}
+
+impl SubwlSetupSample {
+    /// Duration the parallel cross-connect group occupies.
+    pub fn xc_max(&self) -> SimDuration {
+        self.xcs.iter().copied().max().expect("at least one switch")
+    }
+
+    /// End-to-end workflow duration.
+    pub fn total(&self) -> SimDuration {
+        self.session + self.xc_max()
+    }
+}
+
+/// Per-command draws of a sub-wavelength teardown workflow.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SubwlTeardownSample {
+    /// OTN order bookkeeping.
+    pub session: SimDuration,
+    /// Cross-connect removal.
+    pub xc: SimDuration,
+}
+
+impl SubwlTeardownSample {
+    /// End-to-end workflow duration.
+    pub fn total(&self) -> SimDuration {
+        self.session + self.xc
+    }
+}
+
 /// An OTN trunk: a carrier-internal wavelength between two OTN switches.
 #[derive(Debug, Clone)]
 pub struct Trunk {
@@ -247,6 +377,19 @@ pub struct Controller {
     fxc_at: BTreeMap<RoadmId, photonic::FxcId>,
     /// Structured trace of everything the controller did.
     pub trace: TraceLog,
+    /// Hierarchical phase spans of every workflow (setup, teardown,
+    /// restoration, grooming, policy decisions). **Disabled by default**
+    /// — enable with `spans.set_enabled(true)` before driving the
+    /// controller; see `simcore::span` for the determinism and overhead
+    /// contracts.
+    pub spans: SpanRecorder,
+    /// Open workflow root spans awaiting their completion event.
+    pub(crate) workflow_spans: BTreeMap<(ConnectionId, WorkflowKind), SpanId>,
+    /// Open trunk provisioning/restoration root spans.
+    pub(crate) trunk_spans: BTreeMap<TrunkId, SpanId>,
+    /// When each queued restoration entered the queue (span attribution
+    /// of queue wait vs execution; populated only while spans are on).
+    pub(crate) restoration_enqueued_at: BTreeMap<ConnectionId, SimTime>,
     /// Experiment metrics.
     pub metrics: MetricsRegistry,
     /// The path-computation engine (route cache + Dijkstra scratch),
@@ -281,6 +424,10 @@ impl Controller {
             booking_caps: BTreeMap::new(),
             fxc_at: BTreeMap::new(),
             trace: TraceLog::default(),
+            spans: SpanRecorder::default(),
+            workflow_spans: BTreeMap::new(),
+            trunk_spans: BTreeMap::new(),
+            restoration_enqueued_at: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
             engine: rwa::PathEngine::new(),
             perf: LatencyRecorder::new(),
@@ -304,7 +451,18 @@ impl Controller {
         let r = self
             .engine
             .plan_wavelength(&self.net, &self.cfg.rwa, from, to, rate, excluded);
-        self.perf.record_ns(t0.elapsed().as_nanos() as u64);
+        let host_ns = t0.elapsed().as_nanos() as u64;
+        self.perf.record_ns(host_ns);
+        if self.spans.is_enabled() {
+            let now = self.sched.now();
+            let sp = self.spans.record(now, now, "plan", "rwa.plan", None);
+            self.spans.attr_u64(sp, "ok", u64::from(r.is_ok()));
+            // Wall-clock readings are non-deterministic; they enter spans
+            // only under the explicit host-attrs opt-in (perf pipeline).
+            if self.spans.host_attrs_enabled() {
+                self.spans.attr_u64(sp, "host_ns", host_ns);
+            }
+        }
         r
     }
 
@@ -436,18 +594,27 @@ impl Controller {
         self.claim_plan(&plan);
         conn.resources = Some(Resources::Wavelength(plan.clone()));
         self.conns.insert(id, conn);
-        let (dur, breakdown) = self.wavelength_setup_duration(plan.hops());
+        let sample = self.wavelength_setup_sample(plan.hops());
+        let dur = sample.total();
         self.trace.emit(
             self.now(),
             "conn",
             format!(
-                "{id} setup started {}→{} λ{} hops={} eta={dur} [{breakdown}]",
+                "{id} setup started {}→{} λ{} hops={} eta={dur} [{sample}]",
                 self.net.name(from),
                 self.net.name(to),
                 plan.lambda.0,
                 plan.hops()
             ),
         );
+        let t0 = self.now();
+        let root = self.open_workflow_span(id, WorkflowKind::Setup, t0, "conn.setup");
+        if root.is_valid() {
+            self.spans.attr_u64(root, "hops", plan.hops() as u64);
+            self.spans
+                .attr_u64(root, "lambda", u64::from(plan.lambda.0));
+            self.emit_setup_spans(root, t0, &sample);
+        }
         self.sched.schedule_after(
             dur,
             Event::WorkflowDone {
@@ -471,11 +638,18 @@ impl Controller {
             }
             s => return Err(RequestError::BadState(id, s)),
         }
-        let dur = match conn.kind {
-            ConnectionKind::Wavelength { .. } | ConnectionKind::ProtectedWavelength { .. } => {
-                self.wavelength_teardown_duration()
-            }
-            ConnectionKind::SubWavelength { .. } => self.subwavelength_teardown_duration(),
+        let is_subwl = matches!(conn.kind, ConnectionKind::SubWavelength { .. });
+        let t0 = self.now();
+        let dur = if is_subwl {
+            let s = self.subwavelength_teardown_sample();
+            let root = self.open_workflow_span(id, WorkflowKind::Teardown, t0, "conn.teardown");
+            self.emit_subwl_teardown_spans(root, t0, &s);
+            s.total()
+        } else {
+            let s = self.wavelength_teardown_sample();
+            let root = self.open_workflow_span(id, WorkflowKind::Teardown, t0, "conn.teardown");
+            self.emit_teardown_spans(root, t0, &s);
+            s.total()
         };
         self.trace.emit(
             self.now(),
@@ -494,65 +668,302 @@ impl Controller {
 
     // ── workflow durations ──────────────────────────────────────────
 
-    /// Sample the end-to-end wavelength setup duration for an `n`-hop
-    /// path: session → FXC∥FXC → ROADM configs in parallel → OT tunes in
-    /// parallel → validate → equalize. Returns the total and a printable
-    /// per-stage breakdown.
-    pub(crate) fn wavelength_setup_duration(&mut self, hops: usize) -> (SimDuration, String) {
+    /// Sample the per-command durations of a wavelength setup workflow
+    /// for an `n`-hop path: session → FXC∥FXC → ROADM configs in
+    /// parallel → OT tunes in parallel → validate → equalize. The total
+    /// ([`SetupSample::total`]) drives the completion event; the same
+    /// draws feed the trace breakdown and the span tree.
+    pub(crate) fn wavelength_setup_sample(&mut self, hops: usize) -> SetupSample {
         let session = self.ems.latency(EmsCommand::SetupSession, &mut self.rng);
-        let fxc = self
-            .ems
-            .latency(EmsCommand::FxcSwitch, &mut self.rng)
-            .max(self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng));
+        let fxc = [
+            self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng),
+            self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng),
+        ];
         let nodes = hops + 1;
         let roadm = (0..nodes)
             .map(|_| self.ems.latency(EmsCommand::RoadmConfigure, &mut self.rng))
-            .max()
-            .expect("at least one node");
-        let tune = self
-            .ems
-            .latency(EmsCommand::OtTune, &mut self.rng)
-            .max(self.ems.latency(EmsCommand::OtTune, &mut self.rng));
+            .collect();
+        let tune = [
+            self.ems.latency(EmsCommand::OtTune, &mut self.rng),
+            self.ems.latency(EmsCommand::OtTune, &mut self.rng),
+        ];
         let validate = self.ems.latency(EmsCommand::PathValidate, &mut self.rng);
         let eq_model = self.cfg.equalization;
         let equalize = eq_model.duration(hops, &mut self.rng);
-        let total = session + fxc + roadm + tune + validate + equalize;
-        let breakdown = format!(
-            "session={session} fxc={fxc} roadm={roadm} tune={tune} validate={validate} equalize={equalize}"
-        );
-        (total, breakdown)
+        SetupSample {
+            session,
+            fxc,
+            roadm,
+            tune,
+            validate,
+            equalize,
+        }
     }
 
-    /// Sample the wavelength teardown duration:
+    /// Sample a wavelength teardown workflow:
     /// session → (ROADM deconfigs ∥ OT releases) → FXC.
-    pub(crate) fn wavelength_teardown_duration(&mut self) -> SimDuration {
+    pub(crate) fn wavelength_teardown_sample(&mut self) -> TeardownSample {
         let session = self.ems.latency(EmsCommand::TeardownSession, &mut self.rng);
-        let deconf = self
+        let roadm_deconf = self
             .ems
-            .latency(EmsCommand::RoadmDeconfigure, &mut self.rng)
-            .max(self.ems.latency(EmsCommand::OtRelease, &mut self.rng));
+            .latency(EmsCommand::RoadmDeconfigure, &mut self.rng);
+        let ot_release = self.ems.latency(EmsCommand::OtRelease, &mut self.rng);
         let fxc = self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng);
-        session + deconf + fxc
+        TeardownSample {
+            session,
+            roadm_deconf,
+            ot_release,
+            fxc,
+        }
     }
 
     /// Sub-wavelength (OTN) setup: light session + parallel electronic
-    /// cross-connects.
-    pub(crate) fn subwavelength_setup_duration(&mut self, switches: usize) -> SimDuration {
+    /// cross-connects, one per traversed switch.
+    pub(crate) fn subwavelength_setup_sample(&mut self, switches: usize) -> SubwlSetupSample {
         let session = self.ems.latency(EmsCommand::OtnSession, &mut self.rng);
-        let xc = (0..switches.max(1))
+        let xcs = (0..switches.max(1))
             .map(|_| self.ems.latency(EmsCommand::OtnXconnect, &mut self.rng))
-            .max()
-            .expect("max of non-empty");
-        session + xc
+            .collect();
+        SubwlSetupSample { session, xcs }
     }
 
-    /// Sub-wavelength teardown duration.
-    pub(crate) fn subwavelength_teardown_duration(&mut self) -> SimDuration {
+    /// Sub-wavelength teardown: session + cross-connect removal.
+    pub(crate) fn subwavelength_teardown_sample(&mut self) -> SubwlTeardownSample {
         let session = self.ems.latency(EmsCommand::OtnSession, &mut self.rng);
         let xc = self
             .ems
             .latency(EmsCommand::OtnXconnectRemove, &mut self.rng);
-        session + xc
+        SubwlTeardownSample { session, xc }
+    }
+
+    // ── span instrumentation ────────────────────────────────────────
+
+    /// Open a workflow root span at `start` and index it under
+    /// `(conn, kind)` so the matching `WorkflowDone` event closes it.
+    /// Returns [`SpanId::INVALID`] (a no-op id) when recording is off.
+    pub(crate) fn open_workflow_span(
+        &mut self,
+        conn: ConnectionId,
+        kind: WorkflowKind,
+        start: SimTime,
+        name: &'static str,
+    ) -> SpanId {
+        if !self.spans.is_enabled() {
+            return SpanId::INVALID;
+        }
+        let root = self.spans.open(start, "conn", name, None);
+        self.spans.attr_u64(root, "conn", u64::from(conn.raw()));
+        if root.is_valid() {
+            self.workflow_spans.insert((conn, kind), root);
+        }
+        root
+    }
+
+    /// Close the root span a `WorkflowDone { conn, kind }` event belongs
+    /// to, if one is open.
+    pub(crate) fn close_workflow_span(&mut self, conn: ConnectionId, kind: WorkflowKind) {
+        if let Some(root) = self.workflow_spans.remove(&(conn, kind)) {
+            let now = self.now();
+            self.spans.close(root, now);
+        }
+    }
+
+    /// Lay a setup workflow's phase and device-operation spans out under
+    /// `root`, starting at `t0`. Phases are sequential, each parallel
+    /// command group occupying its max sampled duration — the exact
+    /// arithmetic of [`SetupSample::total`] — so the phase spans tile
+    /// `[t0, t0 + total]` and per-phase sums reproduce the end-to-end
+    /// latency the controller reports. Each phase carries the time it
+    /// spent queued behind earlier commands (`queue_wait_ns`); device
+    /// operations under a phase start when the phase starts and show
+    /// their individual sampled execution times.
+    pub(crate) fn emit_setup_spans(&mut self, root: SpanId, t0: SimTime, s: &SetupSample) {
+        if !self.spans.is_enabled() || !root.is_valid() {
+            return;
+        }
+        let hops = s.roadm.len().saturating_sub(1).max(1);
+        let mut t = t0;
+        let phase = |spans: &mut SpanRecorder, t: SimTime, d: SimDuration, name| {
+            let ph = spans.record(t, t + d, "phase", name, Some(root));
+            spans.attr_u64(ph, "queue_wait_ns", t.since(t0).as_nanos());
+            ph
+        };
+        // EMS provisioning session (serial bookkeeping).
+        phase(&mut self.spans, t, s.session, "phase.session");
+        t += s.session;
+        // Client-side FXC pair, in parallel.
+        let ph = phase(&mut self.spans, t, s.fxc_max(), "phase.fxc");
+        for (i, d) in s.fxc.iter().enumerate() {
+            let op = self.spans.record(
+                t,
+                t + *d,
+                "device",
+                EmsCommand::FxcSwitch.span_name(),
+                Some(ph),
+            );
+            self.spans.attr_u64(op, "end", i as u64);
+        }
+        t += s.fxc_max();
+        // Per-node ROADM/WSS configuration, in parallel across nodes.
+        let ph = phase(&mut self.spans, t, s.roadm_max(), "phase.roadm");
+        for (i, d) in s.roadm.iter().enumerate() {
+            let op = self.spans.record(
+                t,
+                t + *d,
+                "device",
+                EmsCommand::RoadmConfigure.span_name(),
+                Some(ph),
+            );
+            self.spans.attr_u64(op, "node", i as u64);
+        }
+        t += s.roadm_max();
+        // Transponder laser tunes at both ends, in parallel.
+        let ph = phase(&mut self.spans, t, s.tune_max(), "phase.tune");
+        for (i, d) in s.tune.iter().enumerate() {
+            let op = self.spans.record(
+                t,
+                t + *d,
+                "device",
+                EmsCommand::OtTune.span_name(),
+                Some(ph),
+            );
+            self.spans.attr_u64(op, "end", i as u64);
+        }
+        t += s.tune_max();
+        // End-to-end validation (serial).
+        phase(&mut self.spans, t, s.validate, "phase.validate");
+        t += s.validate;
+        // Power equalization: per-iteration convergence rounds, each
+        // measuring and adjusting every hop (see photonic::power).
+        let ph = phase(&mut self.spans, t, s.equalize, "phase.equalize");
+        let mut it_t = t;
+        for (i, it_d) in self
+            .cfg
+            .equalization
+            .iteration_splits(hops, s.equalize)
+            .iter()
+            .enumerate()
+        {
+            let it = self
+                .spans
+                .record(it_t, it_t + *it_d, "device", "equalize.iter", Some(ph));
+            self.spans.attr_u64(it, "iter", i as u64);
+            let mut hop_t = it_t;
+            for (h, hop_d) in photonic::power::split_even(*it_d, hops).iter().enumerate() {
+                let op =
+                    self.spans
+                        .record(hop_t, hop_t + *hop_d, "device", "equalize.hop", Some(it));
+                self.spans.attr_u64(op, "hop", h as u64);
+                hop_t += *hop_d;
+            }
+            it_t += *it_d;
+        }
+    }
+
+    /// Teardown counterpart of [`Self::emit_setup_spans`]: session →
+    /// (WSS deconfigure ∥ laser release) → FXC, tiling `[t0, t0+total]`.
+    pub(crate) fn emit_teardown_spans(&mut self, root: SpanId, t0: SimTime, s: &TeardownSample) {
+        if !self.spans.is_enabled() || !root.is_valid() {
+            return;
+        }
+        let mut t = t0;
+        let ph = self
+            .spans
+            .record(t, t + s.session, "phase", "phase.session", Some(root));
+        self.spans.attr_u64(ph, "queue_wait_ns", 0);
+        t += s.session;
+        let ph = self.spans.record(
+            t,
+            t + s.deconf_max(),
+            "phase",
+            "phase.deconfigure",
+            Some(root),
+        );
+        self.spans
+            .attr_u64(ph, "queue_wait_ns", t.since(t0).as_nanos());
+        self.spans.record(
+            t,
+            t + s.roadm_deconf,
+            "device",
+            EmsCommand::RoadmDeconfigure.span_name(),
+            Some(ph),
+        );
+        self.spans.record(
+            t,
+            t + s.ot_release,
+            "device",
+            EmsCommand::OtRelease.span_name(),
+            Some(ph),
+        );
+        t += s.deconf_max();
+        let ph = self
+            .spans
+            .record(t, t + s.fxc, "phase", "phase.fxc", Some(root));
+        self.spans
+            .attr_u64(ph, "queue_wait_ns", t.since(t0).as_nanos());
+        self.spans.record(
+            t,
+            t + s.fxc,
+            "device",
+            EmsCommand::FxcSwitch.span_name(),
+            Some(ph),
+        );
+    }
+
+    /// Sub-wavelength setup spans: OTN session → parallel electronic
+    /// cross-connects, one per traversed switch.
+    pub(crate) fn emit_subwl_setup_spans(
+        &mut self,
+        root: SpanId,
+        t0: SimTime,
+        s: &SubwlSetupSample,
+    ) {
+        if !self.spans.is_enabled() || !root.is_valid() {
+            return;
+        }
+        self.spans
+            .record(t0, t0 + s.session, "phase", "phase.otn_session", Some(root));
+        let t = t0 + s.session;
+        let ph = self
+            .spans
+            .record(t, t + s.xc_max(), "phase", "phase.xconnect", Some(root));
+        self.spans
+            .attr_u64(ph, "queue_wait_ns", s.session.as_nanos());
+        for (i, d) in s.xcs.iter().enumerate() {
+            let op = self.spans.record(
+                t,
+                t + *d,
+                "device",
+                EmsCommand::OtnXconnect.span_name(),
+                Some(ph),
+            );
+            self.spans.attr_u64(op, "switch", i as u64);
+        }
+    }
+
+    /// Sub-wavelength teardown spans: OTN session → cross-connect removal.
+    pub(crate) fn emit_subwl_teardown_spans(
+        &mut self,
+        root: SpanId,
+        t0: SimTime,
+        s: &SubwlTeardownSample,
+    ) {
+        if !self.spans.is_enabled() || !root.is_valid() {
+            return;
+        }
+        self.spans
+            .record(t0, t0 + s.session, "phase", "phase.otn_session", Some(root));
+        let t = t0 + s.session;
+        let ph = self
+            .spans
+            .record(t, t + s.xc, "phase", "phase.xconnect", Some(root));
+        self.spans.record(
+            t,
+            t + s.xc,
+            "device",
+            EmsCommand::OtnXconnectRemove.span_name(),
+            Some(ph),
+        );
     }
 
     // ── plan claim / release ────────────────────────────────────────
@@ -736,6 +1147,10 @@ impl Controller {
     }
 
     fn on_workflow_done(&mut self, id: ConnectionId, kind: WorkflowKind) {
+        // Close the workflow's root span before any state checks so the
+        // span stream stays well-formed even when a teardown or failure
+        // raced the workflow and the completion is a no-op.
+        self.close_workflow_span(id, kind);
         match kind {
             WorkflowKind::Setup => {
                 let now = self.now();
@@ -905,6 +1320,142 @@ mod tests {
         // Teardown ≈ 9–10 s per the paper.
         let teardown = ctl.now().since(t_active).as_secs_f64();
         assert!((8.0..=11.0).contains(&teardown), "teardown={teardown}");
+    }
+
+    /// Sum the durations of `root`'s direct `phase` children.
+    fn phase_sum(spans: &[simcore::Span], root: simcore::SpanId) -> SimDuration {
+        spans
+            .iter()
+            .filter(|s| s.parent == Some(root) && s.category == "phase")
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration().unwrap())
+    }
+
+    #[test]
+    fn setup_spans_tile_the_workflow_exactly() {
+        let (mut ctl, ids, csp) = testbed_controller(true); // jitter on
+        ctl.spans.set_enabled(true);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        simcore::span::validate(ctl.spans.spans()).unwrap();
+        let conn = ctl.connection(id).unwrap();
+
+        let setup_root = ctl
+            .spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "conn.setup")
+            .expect("setup root span");
+        assert_eq!(setup_root.start, conn.requested_at);
+        assert_eq!(setup_root.end, conn.activated_at);
+        assert_eq!(setup_root.attr_u64("hops"), Some(1));
+        // Phases tile the root: their sum IS the end-to-end setup time.
+        assert_eq!(
+            phase_sum(ctl.spans.spans(), setup_root.id),
+            setup_root.duration().unwrap()
+        );
+        // Device operations nest under phases and include the dominant
+        // laser tune pair.
+        assert_eq!(
+            ctl.spans
+                .spans()
+                .iter()
+                .filter(|s| s.name == "laser.tune")
+                .count(),
+            2
+        );
+
+        let td_root = ctl
+            .spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "conn.teardown")
+            .expect("teardown root span");
+        assert_eq!(
+            phase_sum(ctl.spans.spans(), td_root.id),
+            td_root.duration().unwrap()
+        );
+        // Planning produced an instant span too.
+        assert!(ctl.spans.spans().iter().any(|s| s.name == "rwa.plan"));
+    }
+
+    #[test]
+    fn spans_disabled_by_default_and_cost_nothing() {
+        let (mut ctl, ids, csp) = testbed_controller(false);
+        let id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        ctl.request_teardown(id).unwrap();
+        ctl.run_until_idle();
+        assert!(ctl.spans.is_empty());
+        assert_eq!(ctl.spans.dropped(), 0);
+        // The disabled recorder never allocates its buffer.
+        assert_eq!(ctl.spans.buffered_capacity(), 0);
+    }
+
+    #[test]
+    fn restoration_spans_attribute_queue_wait() {
+        let (net, ids) = PhotonicNetwork::testbed(8);
+        let cfg = ControllerConfig {
+            ems: EmsProfile::calibrated_deterministic(),
+            equalization: EqualizationModel::calibrated_deterministic(),
+            ..ControllerConfig::default()
+        };
+        let mut ctl = Controller::new(net, cfg);
+        ctl.spans.set_enabled(true);
+        let csp = ctl
+            .tenants
+            .register("acme", simcore::DataRate::from_gbps(100));
+        let a = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        let b = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        ctl.inject_fiber_cut(ids.f_i_iv, 0);
+        ctl.run_until_idle();
+        assert_eq!(ctl.connection(a).unwrap().state, ConnState::Active);
+        assert_eq!(ctl.connection(b).unwrap().state, ConnState::Active);
+        simcore::span::validate(ctl.spans.spans()).unwrap();
+        let restores: Vec<&simcore::Span> = ctl
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == "conn.restore")
+            .collect();
+        assert_eq!(restores.len(), 2);
+        // EMS serialization: the second restoration's root includes a
+        // genuine queue-wait phase at least one whole setup long.
+        let waits: Vec<SimDuration> = restores
+            .iter()
+            .map(|r| {
+                ctl.spans
+                    .spans()
+                    .iter()
+                    .filter(|s| s.parent == Some(r.id) && s.name == "restore.queue_wait")
+                    .fold(SimDuration::ZERO, |acc, s| acc + s.duration().unwrap())
+            })
+            .collect();
+        let longest = waits.iter().copied().max().unwrap();
+        assert!(
+            longest >= SimDuration::from_secs(60),
+            "serialized restoration must wait a full setup, waited {longest}"
+        );
+        // Queue wait + phases still tile each root exactly.
+        for r in &restores {
+            let children: SimDuration = ctl
+                .spans
+                .spans()
+                .iter()
+                .filter(|s| s.parent == Some(r.id) && s.category == "phase")
+                .fold(SimDuration::ZERO, |acc, s| acc + s.duration().unwrap());
+            assert_eq!(children, r.duration().unwrap());
+        }
     }
 
     #[test]

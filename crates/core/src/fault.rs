@@ -174,9 +174,7 @@ impl Controller {
                         .map(|c| c.id)
                         .collect();
                     for id in failed {
-                        if !self.restoration_queue.contains(&id) {
-                            self.restoration_queue.push_back(id);
-                        }
+                        self.enqueue_restoration(id);
                     }
                     self.pump_restoration_queue();
                 }
@@ -197,9 +195,7 @@ impl Controller {
         // Premium tenants restore first; id order within a class.
         failed.sort();
         for (_, id) in failed {
-            if !self.restoration_queue.contains(&id) {
-                self.restoration_queue.push_back(id);
-            }
+            self.enqueue_restoration(id);
         }
         // Failed trunks join the same serialized restoration discipline,
         // interleaved after connections (carrier policy: customer
@@ -216,6 +212,20 @@ impl Controller {
         self.pump_restoration_queue();
     }
 
+    /// Queue `id` for restoration (idempotent). While spans are enabled
+    /// the enqueue instant is stamped so the eventual restoration root
+    /// span attributes genuine EMS-serialization queue wait.
+    pub(crate) fn enqueue_restoration(&mut self, id: ConnectionId) {
+        if self.restoration_queue.contains(&id) {
+            return;
+        }
+        self.restoration_queue.push_back(id);
+        if self.spans.is_enabled() {
+            let now = self.now();
+            self.restoration_enqueued_at.entry(id).or_insert(now);
+        }
+    }
+
     /// Start queued restorations while the EMS plane has workflow slots
     /// free (`restoration_parallelism`, 1 on the paper's testbed).
     pub(crate) fn pump_restoration_queue(&mut self) {
@@ -230,6 +240,7 @@ impl Controller {
     /// queue yields nothing startable.
     fn start_next_restoration(&mut self) -> bool {
         while let Some(id) = self.restoration_queue.pop_front() {
+            let enqueued_at = self.restoration_enqueued_at.remove(&id);
             let Some(conn) = self.conns.get(&id) else {
                 continue;
             };
@@ -260,12 +271,39 @@ impl Controller {
                         c.resources = Some(Resources::Wavelength(new_plan));
                         c.transition(ConnState::Restoring);
                     }
-                    let (dur, _) = self.wavelength_setup_duration(hops);
+                    let sample = self.wavelength_setup_sample(hops);
+                    let dur = sample.total();
                     self.trace.emit(
                         self.now(),
                         "fault",
                         format!("{id} restoration started eta={dur}"),
                     );
+                    if self.spans.is_enabled() {
+                        // The root opens back at the enqueue instant so
+                        // the serialization delay behind earlier
+                        // restorations shows up as a queue-wait phase.
+                        let now = self.now();
+                        let start = enqueued_at.unwrap_or(now);
+                        let root = self.open_workflow_span(
+                            id,
+                            WorkflowKind::Restore,
+                            start,
+                            "conn.restore",
+                        );
+                        self.spans.attr_u64(root, "hops", hops as u64);
+                        if now > start {
+                            let qw = self.spans.record(
+                                start,
+                                now,
+                                "phase",
+                                "restore.queue_wait",
+                                Some(root),
+                            );
+                            self.spans
+                                .attr_u64(qw, "queue_wait_ns", now.since(start).as_nanos());
+                        }
+                        self.emit_setup_spans(root, now, &sample);
+                    }
                     self.restorations_in_flight += 1;
                     self.sched.schedule_after(
                         dur,
@@ -330,12 +368,22 @@ impl Controller {
                 self.claim_plan(&new_plan);
                 let hops = new_plan.hops();
                 self.trunks[tid.index()].plan = new_plan;
-                let (dur, _) = self.wavelength_setup_duration(hops);
+                let sample = self.wavelength_setup_sample(hops);
+                let dur = sample.total();
                 self.trace.emit(
                     self.now(),
                     "fault",
                     format!("{tid} restoration started eta={dur}"),
                 );
+                if self.spans.is_enabled() {
+                    let t0 = self.now();
+                    let root = self.spans.open(t0, "otn", "otn.trunk_restore", None);
+                    self.spans.attr_u64(root, "trunk", u64::from(tid.raw()));
+                    self.emit_setup_spans(root, t0, &sample);
+                    if root.is_valid() {
+                        self.trunk_spans.insert(tid, root);
+                    }
+                }
                 self.sched
                     .schedule_after(dur, Event::TrunkRestored { trunk: tid });
             }
@@ -349,6 +397,9 @@ impl Controller {
 
     pub(crate) fn on_trunk_restored(&mut self, tid: TrunkId) {
         let now = self.now();
+        if let Some(root) = self.trunk_spans.remove(&tid) {
+            self.spans.close(root, now);
+        }
         let t = &mut self.trunks[tid.index()];
         t.ready = true;
         let (s, d) = (t.plan.ot_src, t.plan.ot_dst);
@@ -424,9 +475,7 @@ impl Controller {
             .collect();
         if self.cfg.auto_restore {
             for id in still_failed {
-                if !self.restoration_queue.contains(&id) {
-                    self.restoration_queue.push_back(id);
-                }
+                self.enqueue_restoration(id);
             }
             self.pump_restoration_queue();
             if self.cfg.auto_revert {

@@ -62,12 +62,19 @@ impl Controller {
         self.claim_plan(&plan);
         let hops = plan.hops();
         self.conns.get_mut(&id).expect("conn exists").bridge = Some(plan);
-        let (dur, _) = self.wavelength_setup_duration(hops);
+        let sample = self.wavelength_setup_sample(hops);
+        let dur = sample.total();
         self.trace.emit(
             self.now(),
             "maint",
             format!("{id} bridge building ({hops} hops) eta={dur}"),
         );
+        let t0 = self.now();
+        let root = self.open_workflow_span(id, WorkflowKind::Bridge, t0, "conn.bridge");
+        if root.is_valid() {
+            self.spans.attr_u64(root, "hops", hops as u64);
+            self.emit_setup_spans(root, t0, &sample);
+        }
         self.sched.schedule_after(
             dur,
             Event::WorkflowDone {
@@ -94,6 +101,20 @@ impl Controller {
             .ems
             .latency(EmsCommand::FxcSwitch, &mut self.rng)
             .max(self.ems.latency(EmsCommand::FxcSwitch, &mut self.rng));
+        let root = self.open_workflow_span(id, WorkflowKind::Roll, now, "conn.roll");
+        if root.is_valid() {
+            let ph = self
+                .spans
+                .record(now, now + roll, "phase", "phase.fxc", Some(root));
+            self.spans.attr_u64(ph, "queue_wait_ns", 0);
+            self.spans.record(
+                now,
+                now + roll,
+                "device",
+                EmsCommand::FxcSwitch.span_name(),
+                Some(ph),
+            );
+        }
         self.trace
             .emit(now, "maint", format!("{id} bridge ready, rolling ({roll})"));
         self.sched.schedule_after(
@@ -217,8 +238,10 @@ impl Controller {
         let plan = self.plan_wavelength(from, to, rate, &avoid)?;
         // Outage starts now: traffic stops the moment teardown begins.
         let now = self.now();
-        let teardown = self.wavelength_teardown_duration();
-        let (setup, _) = self.wavelength_setup_duration(plan.hops());
+        let teardown_sample = self.wavelength_teardown_sample();
+        let setup_sample = self.wavelength_setup_sample(plan.hops());
+        let teardown = teardown_sample.total();
+        let setup = setup_sample.total();
         let old = {
             let c = self.conns.get_mut(&id).expect("conn exists");
             c.transition(ConnState::Failed);
@@ -235,6 +258,11 @@ impl Controller {
             c.transition(ConnState::Restoring);
         }
         let hit = teardown + setup;
+        let root = self.open_workflow_span(id, WorkflowKind::Restore, now, "conn.cold_reroute");
+        if root.is_valid() {
+            self.emit_teardown_spans(root, now, &teardown_sample);
+            self.emit_setup_spans(root, now + teardown, &setup_sample);
+        }
         self.metrics
             .histogram("maintenance.cold_hit_ms")
             .record(hit.as_secs_f64() * 1e3);
@@ -278,12 +306,19 @@ impl Controller {
                     self.claim_plan(&plan);
                     let hops = plan.hops();
                     self.conns.get_mut(&id).expect("conn exists").bridge = Some(plan);
-                    let (dur, _) = self.wavelength_setup_duration(hops);
+                    let sample = self.wavelength_setup_sample(hops);
+                    let dur = sample.total();
                     self.trace.emit(
                         self.now(),
                         "maint",
                         format!("{id} re-grooming {old_km:.0}km → {new_km:.0}km"),
                     );
+                    let t0 = self.now();
+                    let root = self.open_workflow_span(id, WorkflowKind::Bridge, t0, "conn.bridge");
+                    if root.is_valid() {
+                        self.spans.attr_u64(root, "hops", hops as u64);
+                        self.emit_setup_spans(root, t0, &sample);
+                    }
                     self.sched.schedule_after(
                         dur,
                         Event::WorkflowDone {

@@ -74,7 +74,8 @@ impl Controller {
             line_b: (sb, lb),
             ready: false,
         });
-        let (dur, _) = self.wavelength_setup_duration(hops);
+        let sample = self.wavelength_setup_sample(hops);
+        let dur = sample.total();
         self.trace.emit(
             self.now(),
             "otn",
@@ -84,6 +85,16 @@ impl Controller {
                 self.net.name(b)
             ),
         );
+        if self.spans.is_enabled() {
+            let t0 = self.now();
+            let root = self.spans.open(t0, "otn", "otn.trunk_setup", None);
+            self.spans.attr_u64(root, "trunk", u64::from(id.raw()));
+            self.spans.attr_u64(root, "hops", hops as u64);
+            self.emit_setup_spans(root, t0, &sample);
+            if root.is_valid() {
+                self.trunk_spans.insert(id, root);
+            }
+        }
         self.sched
             .schedule_after(dur, Event::TrunkReady { trunk: id });
         Ok(id)
@@ -91,6 +102,9 @@ impl Controller {
 
     pub(crate) fn on_trunk_ready(&mut self, id: TrunkId) {
         let now = self.now();
+        if let Some(root) = self.trunk_spans.remove(&id) {
+            self.spans.close(root, now);
+        }
         let t = &mut self.trunks[id.index()];
         if t.ready {
             return;
@@ -161,7 +175,14 @@ impl Controller {
         }));
         self.conns.insert(id, conn);
         let switches = trunk_path.len() + 1;
-        let dur = self.subwavelength_setup_duration(switches);
+        let sample = self.subwavelength_setup_sample(switches);
+        let dur = sample.total();
+        let t0 = self.now();
+        let root = self.open_workflow_span(id, WorkflowKind::Setup, t0, "conn.subwl_setup");
+        if root.is_valid() {
+            self.spans.attr_u64(root, "trunks", trunk_path.len() as u64);
+            self.emit_subwl_setup_spans(root, t0, &sample);
+        }
         self.trace.emit(
             self.now(),
             "otn",

@@ -83,7 +83,8 @@ impl Controller {
             on_protect: false,
         });
         self.conns.insert(id, conn);
-        let (dur, _) = self.wavelength_setup_duration(longer);
+        let sample = self.wavelength_setup_sample(longer);
+        let dur = sample.total();
         self.trace.emit(
             self.now(),
             "conn",
@@ -93,6 +94,13 @@ impl Controller {
                 self.net.name(to)
             ),
         );
+        let t0 = self.now();
+        let root = self.open_workflow_span(id, WorkflowKind::Setup, t0, "conn.setup");
+        if root.is_valid() {
+            self.spans.attr_u64(root, "hops", longer as u64);
+            self.spans.attr_u64(root, "protected", 1);
+            self.emit_setup_spans(root, t0, &sample);
+        }
         self.sched.schedule_after(
             dur,
             Event::WorkflowDone {

@@ -68,6 +68,27 @@ pub enum EmsCommand {
     OtnSession,
 }
 
+impl EmsCommand {
+    /// The device-operation span name the tracing layer records for this
+    /// command (`simcore::span`): EMS bookkeeping keeps an `ems.` prefix,
+    /// element commands are named after the hardware they drive.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            EmsCommand::SetupSession => "ems.session",
+            EmsCommand::TeardownSession => "ems.teardown_session",
+            EmsCommand::FxcSwitch => "fxc.switch",
+            EmsCommand::RoadmConfigure => "wss.reconfigure",
+            EmsCommand::RoadmDeconfigure => "wss.deconfigure",
+            EmsCommand::OtTune => "laser.tune",
+            EmsCommand::OtRelease => "laser.release",
+            EmsCommand::PathValidate => "ems.path_validate",
+            EmsCommand::OtnXconnect => "otn.xconnect",
+            EmsCommand::OtnXconnectRemove => "otn.xconnect_remove",
+            EmsCommand::OtnSession => "otn.session",
+        }
+    }
+}
+
 /// Mean latency (seconds) and relative jitter for each command class.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EmsProfile {

@@ -100,6 +100,26 @@ impl EqualizationModel {
         };
         SimDuration::from_secs_f64(secs)
     }
+
+    /// Split a sampled equalization `total` into its convergence
+    /// iterations for span attribution: `iterations(hops)` durations that
+    /// sum to `total` *exactly* (the last one absorbs integer-nanosecond
+    /// remainders), each covering one measure/adjust/settle round.
+    pub fn iteration_splits(&self, hops: usize, total: SimDuration) -> Vec<SimDuration> {
+        split_even(total, self.iterations(hops).max(1) as usize)
+    }
+}
+
+/// Split `total` into `parts` durations that sum to `total` exactly, the
+/// last absorbing the division remainder. Used for per-iteration and
+/// per-hop sub-spans that must tile their parent's interval.
+pub fn split_even(total: SimDuration, parts: usize) -> Vec<SimDuration> {
+    let parts = parts.max(1);
+    let each = SimDuration::from_nanos(total.as_nanos() / parts as u64);
+    let mut out = vec![each; parts];
+    let used = each.as_nanos() * (parts as u64 - 1);
+    out[parts - 1] = SimDuration::from_nanos(total.as_nanos() - used);
+    out
 }
 
 /// Power-transient exposure when a channel is added or removed on a line.
@@ -206,6 +226,20 @@ mod tests {
     #[should_panic(expected = "zero-hop")]
     fn zero_hops_rejected() {
         EqualizationModel::calibrated().mean_secs(0);
+    }
+
+    #[test]
+    fn iteration_splits_tile_the_total_exactly() {
+        let m = EqualizationModel::calibrated_deterministic();
+        let total = SimDuration::from_nanos(9_570_000_001); // indivisible by 3
+        let parts = m.iteration_splits(3, total);
+        assert_eq!(parts.len(), 3);
+        let sum = parts.iter().fold(SimDuration::ZERO, |acc, d| acc + *d);
+        assert_eq!(sum, total, "splits must tile the sampled total");
+        assert!(parts[2] >= parts[0], "last part absorbs the remainder");
+        // Degenerate cases.
+        assert_eq!(split_even(SimDuration::ZERO, 4).len(), 4);
+        assert_eq!(split_even(SimDuration::from_secs(1), 0).len(), 1);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   for recording experiment output.
 //! - [`trace`] — a bounded structured event log for debugging and for
 //!   asserting on simulation behaviour in tests.
+//! - [`span`] — hierarchical, sim-time-stamped spans for per-phase latency
+//!   attribution, with a Chrome trace-event exporter and a rollup
+//!   aggregator (the observability substrate; see `DESIGN.md` §9).
 //! - [`units`] — [`DataRate`] / [`DataSize`] newtypes shared by all layers.
 //! - [`ids`] — the [`define_id!`] macro for typed entity identifiers.
 //!
@@ -49,6 +52,7 @@ pub mod ids;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 pub mod units;
@@ -56,6 +60,7 @@ pub mod units;
 pub use metrics::{Counter, Gauge, Histogram, LatencyRecorder, MetricsRegistry, TimeSeries};
 pub use queue::{EventId, Scheduler};
 pub use rng::SimRng;
+pub use span::{AttrValue, Span, SpanId, SpanRecorder};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};
 pub use units::{DataRate, DataSize};

@@ -110,6 +110,17 @@ impl TraceLog {
         self.dropped
     }
 
+    /// A one-line warning when the ring evicted events, for repro targets
+    /// to surface instead of silently reporting from a truncated log.
+    pub fn drop_warning(&self) -> Option<String> {
+        (self.dropped > 0).then(|| {
+            format!(
+                "warning: trace ring dropped {} events (capacity {}); oldest history is missing",
+                self.dropped, self.capacity
+            )
+        })
+    }
+
     /// Render the whole retained log.
     pub fn dump(&self) -> String {
         let mut s = String::new();
@@ -147,6 +158,21 @@ mod tests {
         assert_eq!(log.dropped(), 2);
         let first = log.events().next().unwrap();
         assert_eq!(first.detail, "e2");
+    }
+
+    #[test]
+    fn drop_warning_tracks_dropped_count() {
+        let mut log = TraceLog::new(2);
+        log.emit(SimTime::ZERO, "t", "a");
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.drop_warning(), None);
+        log.emit(SimTime::ZERO, "t", "b");
+        log.emit(SimTime::ZERO, "t", "c");
+        log.emit(SimTime::ZERO, "t", "d");
+        assert_eq!(log.dropped(), 2);
+        let w = log.drop_warning().unwrap();
+        assert!(w.contains("dropped 2 events"), "{w}");
+        assert!(w.contains("capacity 2"), "{w}");
     }
 
     #[test]

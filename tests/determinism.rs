@@ -11,6 +11,10 @@ fn run_scenario(seed: u64) -> (Vec<f64>, u64, String) {
 }
 
 fn run_scenario_with_cache(seed: u64, use_route_cache: bool) -> (Vec<f64>, u64, String) {
+    run_scenario_opts(seed, use_route_cache, false)
+}
+
+fn run_scenario_opts(seed: u64, use_route_cache: bool, spans: bool) -> (Vec<f64>, u64, String) {
     let (net, ids) = PhotonicNetwork::testbed(8);
     let mut ctl = Controller::new(
         net,
@@ -23,6 +27,7 @@ fn run_scenario_with_cache(seed: u64, use_route_cache: bool) -> (Vec<f64>, u64, 
             ..ControllerConfig::default()
         },
     );
+    ctl.spans.set_enabled(spans);
     let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
     let mut conns = Vec::new();
     for _ in 0..3 {
@@ -63,6 +68,34 @@ fn route_cache_does_not_change_outcomes() {
         "event count must not depend on the route cache"
     );
     assert_eq!(t_on, t_off, "trace must match byte for byte");
+}
+
+/// Span recording is pure observation: switching it on must not change a
+/// single event, outage, or trace byte — and switching it off must leave
+/// the recorder allocation-free (the cheap guard that instrumented
+/// controllers pay nothing when tracing is disabled).
+#[test]
+fn span_recording_does_not_change_outcomes() {
+    let (o_off, e_off, t_off) = run_scenario_opts(4242, true, false);
+    let (o_on, e_on, t_on) = run_scenario_opts(4242, true, true);
+    assert_eq!(o_on, o_off, "outages must not depend on span recording");
+    assert_eq!(e_on, e_off, "event count must not depend on span recording");
+    assert_eq!(t_on, t_off, "trace must match byte for byte");
+
+    let (net, ids) = PhotonicNetwork::testbed(4);
+    let mut ctl = Controller::new(net, ControllerConfig::default());
+    let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
+    let id = ctl
+        .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+        .unwrap();
+    ctl.run_until_idle();
+    ctl.request_teardown(id).unwrap();
+    ctl.run_until_idle();
+    assert_eq!(
+        ctl.spans.buffered_capacity(),
+        0,
+        "a disabled recorder must never allocate, even across full workflows"
+    );
 }
 
 #[test]
