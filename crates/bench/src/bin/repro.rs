@@ -9,6 +9,7 @@
 //!          bench-rwa (writes BENCH_rwa.json)
 //!          bench-cloud (writes BENCH_cloud.json)
 //!          trace (writes BENCH_trace.json + BENCH_trace_chrome.json)
+//!          noc (writes BENCH_noc.json + noc_exposition.txt)
 //! ```
 //!
 //! See `EXPERIMENTS.md` for each target's output recorded against the
@@ -45,12 +46,13 @@ fn main() {
         "bench-rwa" => griphon_bench::bench_json::emit("BENCH_rwa.json"),
         "bench-cloud" => griphon_bench::bench_cloud::emit("BENCH_cloud.json"),
         "trace" => griphon_bench::trace_target::emit("BENCH_trace.json", "BENCH_trace_chrome.json"),
+        "noc" => griphon_bench::noc_target::emit("BENCH_noc.json", "noc_exposition.txt"),
         other => {
             eprintln!(
                 "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 fig6 fig7 \
                  e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite e5-bulk e5b-full-mesh \
                  e6-grooming e7-ablation e8-protection e9-planning e10-sla bench-rwa bench-cloud \
-                 trace all"
+                 trace noc all"
             );
             std::process::exit(2);
         }

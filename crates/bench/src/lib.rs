@@ -11,6 +11,7 @@
 pub mod bench_cloud;
 pub mod bench_json;
 pub mod experiments;
+pub mod noc_target;
 pub mod scenario;
 pub mod table;
 pub mod trace_target;

@@ -179,6 +179,11 @@ pub struct ScenarioSpec {
     /// Trunks to pre-provision between OTN switch nodes (10 G each).
     #[serde(default)]
     pub trunks: Vec<(String, String)>,
+    /// Enable the NOC with this scrape cadence (seconds). Absent (the
+    /// default) leaves the NOC off; the scenario report is byte-identical
+    /// either way — see `griphon::noc` for the determinism contract.
+    #[serde(default)]
+    pub noc_scrape_secs: Option<u64>,
     /// The timed actions.
     pub events: Vec<EventSpec>,
 }
@@ -236,6 +241,13 @@ fn rate_of(gbps: u64) -> Result<LineRate, ScenarioError> {
 
 /// Execute a parsed scenario.
 pub fn run(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
+    run_with(spec).map(|(out, _)| out)
+}
+
+/// Execute a parsed scenario and also hand back the finished controller,
+/// so callers (the NOC bench target, tests) can inspect telemetry that
+/// deliberately never reaches the report text.
+pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioError> {
     let net = match spec.topology {
         TopologySpec::Testbed { ots_per_node } => PhotonicNetwork::testbed(ots_per_node).0,
         TopologySpec::Nsfnet {
@@ -252,6 +264,9 @@ pub fn run(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
         cfg.equalization = EqualizationModel::calibrated_deterministic();
     }
     let mut ctl = Controller::new(net, cfg);
+    if let Some(secs) = spec.noc_scrape_secs {
+        ctl.noc.enable(SimDuration::from_secs(secs));
+    }
 
     let node = |ctl: &Controller, name: &str| -> Result<RoadmId, ScenarioError> {
         ctl.net
@@ -283,7 +298,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
         let nb = node(&ctl, b)?;
         // Trunk planning failures surface in the report, not as panics.
         if let Err(e) = ctl.provision_trunk(na, nb, LineRate::Gbps10) {
-            return Ok(format!("scenario aborted: trunk {a}–{b}: {e}\n"));
+            return Ok((format!("scenario aborted: trunk {a}–{b}: {e}\n"), ctl));
         }
     }
     ctl.run_until_idle();
@@ -465,7 +480,7 @@ pub fn run(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
         out.push_str(&ctl.customer_view(*t));
     }
     out.push_str(&ctl.metrics.report());
-    Ok(out)
+    Ok((out, ctl))
 }
 
 #[cfg(test)]

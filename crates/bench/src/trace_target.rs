@@ -509,8 +509,8 @@ fn render(report: &TraceReport, scenarios: &[Scenario]) -> String {
 }
 
 /// Minimal typed view of a Chrome trace, used to re-parse the exporter's
-/// hand-written JSON as a structural validity gate (simcore carries no
-/// serde, so the export path never sees a serializer).
+/// hand-written JSON as a structural validity gate (the span exporter
+/// writes its JSON by hand, so the export path never sees a serializer).
 #[derive(serde::Deserialize)]
 struct ChromeTrace {
     /// The trace's event list.

@@ -617,6 +617,17 @@ fn run_event_bod(
                 st.done_at = Some(t);
             }
         }
+        if ctl.noc.is_enabled() {
+            // Scrapes cannot see inside this loop's pair state, so the
+            // policy pushes its backlog gauges at every decision tick.
+            for (i, st) in states.iter().enumerate() {
+                ctl.noc.observe_cloud_backlog(
+                    i,
+                    st.q.backlog().terabytes_f64(),
+                    st.members.len() as u64,
+                );
+            }
+        }
         t += tick;
         if states.iter().all(|st| st.done_at.is_some()) {
             finished = true;

@@ -392,6 +392,11 @@ pub struct Controller {
     pub(crate) restoration_enqueued_at: BTreeMap<ConnectionId, SimTime>,
     /// Experiment metrics.
     pub metrics: MetricsRegistry,
+    /// The NOC layer: telemetry scrape engine and alarm-correlation
+    /// engine (`DESIGN.md` §10). **Disabled by default** — enable with
+    /// `noc.enable(interval)`; a disabled NOC costs nothing and the
+    /// simulation outcome is byte-identical either way.
+    pub noc: crate::noc::Noc,
     /// The path-computation engine (route cache + Dijkstra scratch),
     /// shared by every planning call this controller makes.
     pub(crate) engine: rwa::PathEngine,
@@ -429,6 +434,7 @@ impl Controller {
             trunk_spans: BTreeMap::new(),
             restoration_enqueued_at: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
+            noc: crate::noc::Noc::new(),
             engine: rwa::PathEngine::new(),
             perf: LatencyRecorder::new(),
             cfg,
@@ -487,6 +493,7 @@ impl Controller {
     pub fn step(&mut self) -> Option<SimTime> {
         let (t, ev) = self.sched.pop()?;
         self.handle(ev);
+        self.noc_pump();
         Some(t)
     }
 
@@ -495,10 +502,12 @@ impl Controller {
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some((_, ev)) = self.sched.pop_until(deadline) {
             self.handle(ev);
+            self.noc_pump();
         }
         if self.sched.now() < deadline {
             self.sched.advance_to(deadline);
         }
+        self.noc_pump();
     }
 
     /// Run until no events remain.

@@ -48,6 +48,8 @@ impl Controller {
         self.trace
             .emit(now, "fault", format!("{fiber} cut at span {span}"));
         self.metrics.counter("fault.fiber_cuts").incr();
+        self.noc
+            .on_fault_injected(crate::noc::RootCause::FiberCut(fiber.raw()), now);
 
         // 1+1-protected circuits react on their own (selector switch,
         // not restoration).
@@ -64,9 +66,11 @@ impl Controller {
             let c = self.conns.get_mut(id).expect("impacted conn exists");
             c.transition(ConnState::Failed);
             c.outage_start(now);
+            let client = (c.from.raw(), c.id.raw());
             // Terminal OT LOS alarms surface via EMS polling.
             if let Some(Resources::Wavelength(p)) = &c.resources {
                 let ot = p.ot_dst;
+                self.noc.hint_ot(ot.raw(), fiber.raw());
                 self.sched.schedule_after(
                     detection.ot_los,
                     Event::AlarmDelivered(Alarm {
@@ -76,8 +80,22 @@ impl Controller {
                     }),
                 );
             }
+            // The customer hand-off drops last (client hold-off timers).
+            self.noc.hint_client(client.0, client.1, fiber.raw());
+            self.sched.schedule_after(
+                detection.client_port,
+                Event::AlarmDelivered(Alarm {
+                    at: now + detection.client_port,
+                    kind: AlarmKind::ClientPortDown {
+                        switch: client.0,
+                        port: client.1,
+                    },
+                    severity: AlarmSeverity::Critical,
+                }),
+            );
         }
-        // Trunks riding the fiber: mark down, fail riding circuits.
+        // Trunks riding the fiber: mark down, raise ODU AIS at the OTN
+        // layer, fail riding circuits (whose client ports then drop).
         let down_trunks: Vec<TrunkId> = self
             .trunks
             .iter()
@@ -86,7 +104,16 @@ impl Controller {
             .collect();
         for tid in &down_trunks {
             self.trunks[tid.index()].ready = false;
-            self.fail_circuits_on_trunk(*tid);
+            self.noc.hint_trunk(tid.raw(), fiber.raw());
+            self.sched.schedule_after(
+                detection.odu_ais,
+                Event::AlarmDelivered(Alarm {
+                    at: now + detection.odu_ais,
+                    kind: AlarmKind::OduAis { trunk: tid.raw() },
+                    severity: AlarmSeverity::Critical,
+                }),
+            );
+            self.fail_circuits_on_trunk(*tid, Some(fiber));
         }
         // Deliver the storm.
         for a in alarms {
@@ -110,6 +137,8 @@ impl Controller {
         let now = self.now();
         self.net.transponder_mut(ot).fail();
         self.metrics.counter("fault.ot_failures").incr();
+        self.noc
+            .on_fault_injected(crate::noc::RootCause::OtFault(ot.raw()), now);
         self.trace
             .emit(now, "fault", format!("{ot} hardware failure"));
         // Protected circuits handle their own OTs via the APS selector.
@@ -145,6 +174,7 @@ impl Controller {
     pub(crate) fn on_alarm(&mut self, alarm: Alarm) {
         self.trace.emit(self.now(), "alarm", alarm.to_string());
         self.metrics.counter("fault.alarms").incr();
+        self.noc_observe_alarm(&alarm);
         match alarm.kind {
             AlarmKind::FiberDown { fiber } => {
                 // Root cause localized. Trigger restoration for every
@@ -179,9 +209,13 @@ impl Controller {
                     self.pump_restoration_queue();
                 }
             }
-            // LOS alarms are corroborating symptoms; the localizer counts
-            // them but acts on the FiberDown telemetry.
-            AlarmKind::DegreeLos { .. } | AlarmKind::OtLos { .. } => {}
+            // LOS, AIS and client-port alarms are corroborating symptoms;
+            // the localizer counts them (and the NOC suppresses them
+            // against the root) but acts on the FiberDown telemetry.
+            AlarmKind::DegreeLos { .. }
+            | AlarmKind::OtLos { .. }
+            | AlarmKind::OduAis { .. }
+            | AlarmKind::ClientPortDown { .. } => {}
         }
     }
 
@@ -278,6 +312,10 @@ impl Controller {
                         "fault",
                         format!("{id} restoration started eta={dur}"),
                     );
+                    {
+                        let now = self.now();
+                        self.noc.on_restoration_started(now);
+                    }
                     if self.spans.is_enabled() {
                         // The root opens back at the enqueue instant so
                         // the serialization delay behind earlier
@@ -434,10 +472,13 @@ impl Controller {
         }
     }
 
-    /// Fail every sub-wavelength circuit riding `tid`.
-    pub(crate) fn fail_circuits_on_trunk(&mut self, tid: TrunkId) {
+    /// Fail every sub-wavelength circuit riding `tid`. When the trunk
+    /// went down because of a fiber cut (`cause`), the circuits' client
+    /// ports raise the tail of the alarm cascade.
+    pub(crate) fn fail_circuits_on_trunk(&mut self, tid: TrunkId, cause: Option<FiberId>) {
         let now = self.now();
-        let impacted: Vec<ConnectionId> = self
+        let detection = self.cfg.detection;
+        let impacted: Vec<(ConnectionId, u32)> = self
             .conns
             .values()
             .filter(|c| {
@@ -445,12 +486,34 @@ impl Controller {
                     && matches!(&c.resources,
                         Some(Resources::SubWavelength(r)) if r.trunks.contains(&tid))
             })
-            .map(|c| c.id)
+            .map(|c| {
+                let sw = match &c.resources {
+                    Some(Resources::SubWavelength(r)) => {
+                        r.xcs.first().map(|(s, _)| *s as u32).unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                (c.id, sw)
+            })
             .collect();
-        for id in impacted {
+        for (id, sw) in impacted {
             let c = self.conns.get_mut(&id).expect("conn exists");
             c.transition(ConnState::Failed);
             c.outage_start(now);
+            if let Some(fiber) = cause {
+                self.noc.hint_client(sw, id.raw(), fiber.raw());
+                self.sched.schedule_after(
+                    detection.client_port,
+                    Event::AlarmDelivered(Alarm {
+                        at: now + detection.client_port,
+                        kind: AlarmKind::ClientPortDown {
+                            switch: sw,
+                            port: id.raw(),
+                        },
+                        severity: AlarmSeverity::Critical,
+                    }),
+                );
+            }
         }
     }
 

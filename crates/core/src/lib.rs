@@ -57,6 +57,7 @@ pub mod gui;
 pub mod inventory;
 pub mod layers;
 pub mod maintenance;
+pub mod noc;
 pub mod otn_service;
 pub mod planning;
 pub mod protection;
@@ -70,6 +71,7 @@ pub use connection::{ConnState, Connection, ConnectionId, ConnectionKind, TrunkI
 pub use controller::{Controller, ControllerConfig, RequestError, Trunk};
 pub use inventory::InventorySnapshot;
 pub use layers::{Layer, LayerStack, ServiceCategory};
+pub use noc::{Noc, RootCause};
 pub use rwa::{RwaConfig, RwaError, WavelengthPlan};
 pub use sla::{nines, SlaReport};
 pub use tenant::{CustomerId, TenantRegistry};

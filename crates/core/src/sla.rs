@@ -198,6 +198,61 @@ mod tests {
     }
 
     #[test]
+    fn nines_edge_cases() {
+        // Exact runs of nines land exactly on the integer nine count.
+        assert_eq!(nines(0.9999), "4.0 nines");
+        assert_eq!(nines(0.999999), "6.0 nines");
+        // Values outside [0, 1] saturate rather than produce NaN/−∞ text.
+        assert_eq!(nines(1.5), "∞ nines");
+        assert_eq!(nines(-0.25), "0 nines");
+        // Just below 1.0 stays finite (no log-of-zero blowup).
+        let just_below = nines(1.0 - f64::EPSILON);
+        assert!(just_below.ends_with("nines") && !just_below.starts_with('∞'));
+        // Just above 0.0 is a tiny but non-negative nine count.
+        assert_eq!(nines(0.1), "0.0 nines");
+    }
+
+    /// An outage whose restoration completes *between* two NOC scrape
+    /// instants must be accounted exactly: the availability ledger uses
+    /// event times, never scrape-quantized ones, so the report is
+    /// identical with the NOC scraping right across the repair.
+    #[test]
+    fn repair_straddling_a_scrape_boundary_is_accounted_exactly() {
+        let run = |noc: bool| {
+            let (net, ids) = PhotonicNetwork::testbed(4);
+            let mut ctl = Controller::new(net, quiet());
+            if noc {
+                // 60 s cadence: the ~66 s restoration spans a scrape tick.
+                ctl.noc.enable(SimDuration::from_secs(60));
+            }
+            let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
+            let id = ctl
+                .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+                .unwrap();
+            ctl.run_until_idle();
+            let t_cut = ctl.now();
+            ctl.inject_fiber_cut(ids.f_i_iv, 0);
+            ctl.run_until(t_cut + SimDuration::from_hours(2));
+            (
+                ctl.connection_availability(id).unwrap(),
+                ctl.sla_report(csp),
+                ctl.noc.scrapes(),
+            )
+        };
+        let (a_on, r_on, scrapes_on) = run(true);
+        let (a_off, r_off, scrapes_off) = run(false);
+        assert!(scrapes_on > 0 && scrapes_off == 0);
+        assert_eq!(a_on, a_off, "availability must not depend on the NOC");
+        assert_eq!(r_on, r_off, "SLA report must not depend on the NOC");
+        // Downtime is the restoration interval, not a scrape multiple.
+        assert!(a_on.downtime > SimDuration::from_secs(60));
+        assert!(a_on.downtime < SimDuration::from_secs(120));
+        assert_ne!(a_on.downtime.as_nanos() % 60_000_000_000, 0);
+        let expect = 1.0 - a_on.downtime.as_secs_f64() / a_on.in_service.as_secs_f64();
+        assert!((a_on.availability - expect).abs() < 1e-12);
+    }
+
+    #[test]
     fn healthy_connection_is_fully_available() {
         let (net, ids) = PhotonicNetwork::testbed(4);
         let mut ctl = Controller::new(net, quiet());

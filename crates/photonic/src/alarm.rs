@@ -55,6 +55,25 @@ pub enum AlarmKind {
         /// The fiber reported dark.
         fiber: FiberId,
     },
+    /// An ODU layer trunk went into alarm-indication-signal: the OTN
+    /// switch at the trunk's terminating line port saw its ODU container
+    /// replaced by AIS when the carrying wavelength was lost. Identified
+    /// by the raw trunk id — this crate cannot name `otn` types, so the
+    /// OTN/controller layers own the interpretation.
+    OduAis {
+        /// Raw id of the affected OTN trunk.
+        trunk: u32,
+    },
+    /// A client-facing port on an OTN switch or customer hand-off went
+    /// down — the last stage of the cascade, observed where the customer
+    /// plugs in. Identified by raw ids for the same layering reason as
+    /// [`AlarmKind::OduAis`].
+    ClientPortDown {
+        /// Raw id of the switch (or hand-off site) reporting the drop.
+        switch: u32,
+        /// Raw id of the client connection/port that lost service.
+        port: u32,
+    },
 }
 
 /// One alarm record.
@@ -90,6 +109,12 @@ impl fmt::Display for Alarm {
             AlarmKind::FiberDown { fiber } => {
                 write!(f, "[{}] {sev} DARK {fiber}", self.at)
             }
+            AlarmKind::OduAis { trunk } => {
+                write!(f, "[{}] {sev} AIS trunk{trunk}", self.at)
+            }
+            AlarmKind::ClientPortDown { switch, port } => {
+                write!(f, "[{}] {sev} PORT-DOWN sw{switch}/port{port}", self.at)
+            }
         }
     }
 }
@@ -105,6 +130,13 @@ pub struct DetectionModel {
     pub ot_los: SimDuration,
     /// Line telemetry declaring the whole fiber down.
     pub fiber_down: SimDuration,
+    /// ODU AIS raised by the OTN switch once the carrying wavelength is
+    /// gone (framer hardware plus switch-EMS surfacing; between span
+    /// telemetry and OT-EMS polling).
+    pub odu_ais: SimDuration,
+    /// Client port down at the hand-off, the tail of the cascade (client
+    /// equipment hold-off timers delay it past OT LOS).
+    pub client_port: SimDuration,
 }
 
 impl Default for DetectionModel {
@@ -113,6 +145,8 @@ impl Default for DetectionModel {
             degree_los: SimDuration::from_millis(50),
             ot_los: SimDuration::from_millis(2_500),
             fiber_down: SimDuration::from_millis(500),
+            odu_ais: SimDuration::from_millis(1_000),
+            client_port: SimDuration::from_millis(3_000),
         }
     }
 }
@@ -132,6 +166,11 @@ mod tests {
         let d = DetectionModel::default();
         assert!(d.degree_los < d.fiber_down);
         assert!(d.fiber_down < d.ot_los);
+        // Cascade ordering: span telemetry → ODU AIS → OT LOS → client
+        // port (hold-off timers put the client drop last).
+        assert!(d.fiber_down < d.odu_ais);
+        assert!(d.odu_ais < d.ot_los);
+        assert!(d.ot_los < d.client_port);
     }
 
     #[test]
@@ -154,5 +193,17 @@ mod tests {
             severity: AlarmSeverity::Major,
         };
         assert!(b.to_string().contains("DARK fiber3"));
+        let c = Alarm {
+            at: SimTime::ZERO,
+            kind: AlarmKind::OduAis { trunk: 4 },
+            severity: AlarmSeverity::Critical,
+        };
+        assert!(c.to_string().contains("AIS trunk4"));
+        let d = Alarm {
+            at: SimTime::ZERO,
+            kind: AlarmKind::ClientPortDown { switch: 1, port: 7 },
+            severity: AlarmSeverity::Critical,
+        };
+        assert!(d.to_string().contains("PORT-DOWN sw1/port7"));
     }
 }

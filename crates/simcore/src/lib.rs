@@ -19,7 +19,9 @@
 //!   generators need (uniform, exponential, normal, lognormal, Pareto,
 //!   weighted choice).
 //! - [`metrics`] — counters, gauges, log-linear histograms and time series
-//!   for recording experiment output.
+//!   for recording experiment output, plus labeled metric families
+//!   ([`FamilyRegistry`]) with Prometheus-style text exposition and a
+//!   typed JSON snapshot (the NOC telemetry substrate, `DESIGN.md` §10).
 //! - [`trace`] — a bounded structured event log for debugging and for
 //!   asserting on simulation behaviour in tests.
 //! - [`span`] — hierarchical, sim-time-stamped spans for per-phase latency
@@ -57,7 +59,10 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use metrics::{Counter, Gauge, Histogram, LatencyRecorder, MetricsRegistry, TimeSeries};
+pub use metrics::{
+    Counter, CounterSample, FamilyRegistry, Gauge, GaugeSample, Histogram, HistogramSample,
+    LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,
+};
 pub use queue::{EventId, Scheduler};
 pub use rng::SimRng;
 pub use span::{AttrValue, Span, SpanId, SpanRecorder};

@@ -44,6 +44,7 @@ impl Counter {
 pub struct Gauge {
     value: f64,
     max_seen: f64,
+    seen: bool,
 }
 
 impl Gauge {
@@ -54,8 +55,9 @@ impl Gauge {
     /// Set the current value.
     pub fn set(&mut self, v: f64) {
         self.value = v;
-        if v > self.max_seen {
+        if !self.seen || v > self.max_seen {
             self.max_seen = v;
+            self.seen = true;
         }
     }
     /// Adjust by a delta.
@@ -66,16 +68,23 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         self.value
     }
-    /// High-water mark since creation.
+    /// High-water mark over every value ever set — *not* clamped to zero,
+    /// so a gauge that has only held negative values (e.g. a power margin
+    /// in dB below tolerance) reports its true maximum rather than 0.
+    /// Returns 0 only before the first `set`/`adjust`.
     pub fn max_seen(&self) -> f64 {
-        self.max_seen
+        if self.seen {
+            self.max_seen
+        } else {
+            0.0
+        }
     }
 }
 
 const BUCKETS_PER_DECADE: usize = 16;
 
 /// Log-linear histogram over non-negative values with exact moments.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     count: u64,
     sum: f64,
@@ -87,13 +96,26 @@ pub struct Histogram {
     zeros: u64,
 }
 
+/// Same as [`Histogram::new`]. (A derived `Default` would zero `min`,
+/// which silently corrupts `min()` and quantile clamping for registries
+/// that create histograms with `or_default()`.)
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Histogram {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            ..Default::default()
+            buckets: BTreeMap::new(),
+            zeros: 0,
         }
     }
 
@@ -403,30 +425,315 @@ impl MetricsRegistry {
         self.gauges.get(name)
     }
 
-    /// Human-readable dump of everything, sorted by name.
+    /// Human-readable dump of everything, globally sorted by metric name
+    /// (ties between metric kinds break counter < gauge < hist < series),
+    /// so golden files can depend on the order.
     pub fn report(&self) -> String {
-        let mut out = String::new();
+        let mut lines: Vec<(&str, String)> = Vec::new();
         for (k, v) in &self.counters {
-            out.push_str(&format!("counter  {k} = {}\n", v.get()));
+            lines.push((k, format!("counter  {k} = {}\n", v.get())));
         }
         for (k, v) in &self.gauges {
-            out.push_str(&format!(
-                "gauge    {k} = {:.3} (max {:.3})\n",
-                v.get(),
-                v.max_seen()
+            lines.push((
+                k,
+                format!("gauge    {k} = {:.3} (max {:.3})\n", v.get(), v.max_seen()),
             ));
         }
         for (k, v) in &self.histograms {
-            out.push_str(&format!("hist     {k}: {v}\n"));
+            lines.push((k, format!("hist     {k}: {v}\n")));
         }
         for (k, v) in &self.series {
-            out.push_str(&format!(
-                "series   {k}: {} points, max {:.3}\n",
-                v.points().len(),
-                v.max()
+            lines.push((
+                k,
+                format!(
+                    "series   {k}: {} points, max {:.3}\n",
+                    v.points().len(),
+                    v.max()
+                ),
             ));
         }
+        // Stable sort: equal names keep the kind order they were pushed in.
+        lines.sort_by(|a, b| a.0.cmp(b.0));
+        lines.into_iter().map(|(_, l)| l).collect()
+    }
+}
+
+/// A canonical label set: key/value pairs sorted by key. Families index
+/// their children by this, so `[("a","1"),("b","2")]` and
+/// `[("b","2"),("a","1")]` name the same child.
+pub type LabelSet = Vec<(String, String)>;
+
+fn canon_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut v: LabelSet = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    for w in v.windows(2) {
+        assert!(w[0].0 != w[1].0, "duplicate label key {:?}", w[0].0);
+    }
+    v
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// One exported sample of a counter family child.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CounterSample {
+    /// Family name.
+    pub name: String,
+    /// Sorted label set identifying the child.
+    pub labels: LabelSet,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One exported sample of a gauge family child.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct GaugeSample {
+    /// Family name.
+    pub name: String,
+    /// Sorted label set identifying the child.
+    pub labels: LabelSet,
+    /// Current value.
+    pub value: f64,
+    /// High-water mark (see [`Gauge::max_seen`]).
+    pub max_seen: f64,
+}
+
+/// One exported sample of a histogram family child (summary form).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct HistogramSample {
+    /// Family name.
+    pub name: String,
+    /// Sorted label set identifying the child.
+    pub labels: LabelSet,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median (log-linear bucket estimate).
+    pub p50: f64,
+    /// 95th percentile (log-linear bucket estimate).
+    pub p95: f64,
+    /// 99th percentile (log-linear bucket estimate).
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// A typed point-in-time snapshot of a [`FamilyRegistry`], serializable to
+/// JSON via the vendored serde stand-in. Children appear in deterministic
+/// (name, sorted-label) order.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// All counter children.
+    pub counters: Vec<CounterSample>,
+    /// All gauge children.
+    pub gauges: Vec<GaugeSample>,
+    /// All histogram children.
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// Labeled metric families: counters, gauges, and histograms keyed by a
+/// sorted label set, in the mold of a Prometheus client registry.
+///
+/// All maps are `BTreeMap`s, so iteration — and therefore [`expose`]
+/// output and [`snapshot`] contents — is deterministic for a given set of
+/// recordings, independent of insertion order.
+///
+/// [`expose`]: FamilyRegistry::expose
+/// [`snapshot`]: FamilyRegistry::snapshot
+#[derive(Debug, Default)]
+pub struct FamilyRegistry {
+    counters: BTreeMap<String, BTreeMap<LabelSet, Counter>>,
+    gauges: BTreeMap<String, BTreeMap<LabelSet, Gauge>>,
+    histograms: BTreeMap<String, BTreeMap<LabelSet, Histogram>>,
+}
+
+impl FamilyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter child for `(name, labels)`, created on first use. Label
+    /// order does not matter; duplicate label keys panic.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Counter {
+        self.counters
+            .entry(name.to_string())
+            .or_default()
+            .entry(canon_labels(labels))
+            .or_default()
+    }
+
+    /// Gauge child for `(name, labels)`, created on first use.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Gauge {
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .entry(canon_labels(labels))
+            .or_default()
+    }
+
+    /// Histogram child for `(name, labels)`, created on first use.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)]) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .entry(canon_labels(labels))
+            .or_default()
+    }
+
+    /// Read a counter child if it exists.
+    pub fn get_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Counter> {
+        self.counters.get(name)?.get(&canon_labels(labels))
+    }
+    /// Read a gauge child if it exists.
+    pub fn get_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Gauge> {
+        self.gauges.get(name)?.get(&canon_labels(labels))
+    }
+    /// Read a histogram child if it exists.
+    pub fn get_histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(name)?.get(&canon_labels(labels))
+    }
+
+    /// Sum a counter family across all children (0 if the family is absent).
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.counters
+            .get(name)
+            .map(|f| f.values().map(Counter::get).sum())
+            .unwrap_or(0)
+    }
+
+    /// True if nothing has ever been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Prometheus-style text exposition. Counter families come first, then
+    /// gauges, then histograms (as summaries with `quantile` labels plus
+    /// `_sum`/`_count`); families sort by name and children by label set.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        for (name, children) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (labels, c) in children {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    render_labels(labels, None),
+                    c.get()
+                ));
+            }
+        }
+        for (name, children) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for (labels, g) in children {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    render_labels(labels, None),
+                    g.get()
+                ));
+            }
+        }
+        for (name, children) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (labels, h) in children {
+                for (q, v) in [
+                    ("0.5", h.quantile(0.5)),
+                    ("0.95", h.quantile(0.95)),
+                    ("0.99", h.quantile(0.99)),
+                ] {
+                    out.push_str(&format!(
+                        "{name}{} {v}\n",
+                        render_labels(labels, Some(("quantile", q)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_sum{} {}\n",
+                    render_labels(labels, None),
+                    h.sum()
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    render_labels(labels, None),
+                    h.count()
+                ));
+            }
+        }
         out
+    }
+
+    /// Typed snapshot of every child, in deterministic order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .flat_map(|(name, ch)| {
+                    ch.iter().map(move |(labels, c)| CounterSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: c.get(),
+                    })
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .flat_map(|(name, ch)| {
+                    ch.iter().map(move |(labels, g)| GaugeSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: g.get(),
+                        max_seen: g.max_seen(),
+                    })
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .flat_map(|(name, ch)| {
+                    ch.iter().map(move |(labels, h)| HistogramSample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        min: h.min(),
+                        p50: h.quantile(0.5),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                        max: h.max(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// [`snapshot`](FamilyRegistry::snapshot) serialized as pretty JSON.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
     }
 }
 
@@ -554,6 +861,125 @@ mod tests {
         let mut ts = TimeSeries::new();
         ts.push(SimTime::from_secs(10), 1.0);
         ts.push(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn gauge_max_seen_survives_downward_then_upward() {
+        let mut g = Gauge::new();
+        g.set(5.0);
+        g.adjust(-4.0);
+        g.adjust(2.0); // 3.0 — below the old peak
+        assert_eq!(g.get(), 3.0);
+        assert_eq!(g.max_seen(), 5.0);
+        g.adjust(4.0); // 7.0 — new peak after the dip
+        assert_eq!(g.max_seen(), 7.0);
+    }
+
+    #[test]
+    fn gauge_max_seen_tracks_negative_only_values() {
+        // Regression: max_seen used to start at 0.0, so a gauge that only
+        // ever held negative values (a power margin below tolerance)
+        // reported a high-water mark of 0.0 it never actually reached.
+        let mut g = Gauge::new();
+        g.set(-5.0);
+        g.set(-2.0);
+        g.set(-3.0);
+        assert_eq!(g.max_seen(), -2.0);
+        // Untouched gauges still report 0.
+        assert_eq!(Gauge::new().max_seen(), 0.0);
+    }
+
+    #[test]
+    fn report_is_globally_name_sorted_and_format_locked() {
+        let mut m = MetricsRegistry::new();
+        // Insert deliberately out of name order and across kinds.
+        m.series("zz.series").push(SimTime::ZERO, 1.0);
+        m.gauge("aa.gauge").set(1.5);
+        m.counter("mm.counter").add(7);
+        m.histogram("bb.hist").record(2.0);
+        let expected = "gauge    aa.gauge = 1.500 (max 1.500)\n\
+             hist     bb.hist: n=1 mean=2.000 sd=0.000 min=2.000 p50=2.000 p95=2.000 max=2.000\n\
+             counter  mm.counter = 7\n\
+             series   zz.series: 1 points, max 1.000\n";
+        assert_eq!(
+            m.report(),
+            expected,
+            "report format is load-bearing for golden files"
+        );
+    }
+
+    #[test]
+    fn family_registry_label_order_is_canonical() {
+        let mut f = FamilyRegistry::new();
+        f.counter("alarms_total", &[("kind", "los"), ("sev", "crit")])
+            .incr();
+        f.counter("alarms_total", &[("sev", "crit"), ("kind", "los")])
+            .incr();
+        assert_eq!(
+            f.get_counter("alarms_total", &[("kind", "los"), ("sev", "crit")])
+                .unwrap()
+                .get(),
+            2,
+            "label order must not mint a new child"
+        );
+        assert_eq!(f.counter_family_total("alarms_total"), 2);
+        assert_eq!(f.counter_family_total("missing"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label key")]
+    fn family_registry_rejects_duplicate_label_keys() {
+        FamilyRegistry::new().counter("x", &[("k", "1"), ("k", "2")]);
+    }
+
+    #[test]
+    fn family_exposition_is_deterministic_and_prometheus_shaped() {
+        let build = || {
+            let mut f = FamilyRegistry::new();
+            f.gauge("occupancy", &[("roadm", "b"), ("degree", "1")])
+                .set(4.0);
+            f.gauge("occupancy", &[("degree", "0"), ("roadm", "a")])
+                .set(2.0);
+            f.counter("alarms_total", &[("kind", "los")]).add(3);
+            let h = f.histogram("latency_seconds", &[]);
+            h.record(0.5);
+            h.record(1.5);
+            f
+        };
+        let a = build().expose();
+        let b = build().expose();
+        assert_eq!(a, b, "expose() must be byte-identical across runs");
+        assert!(a.contains("# TYPE alarms_total counter\n"));
+        assert!(a.contains("alarms_total{kind=\"los\"} 3\n"));
+        assert!(a.contains("occupancy{degree=\"0\",roadm=\"a\"} 2\n"));
+        assert!(a.contains("latency_seconds_count 2\n"));
+        assert!(a.contains("latency_seconds_sum 2\n"));
+        assert!(a.contains("quantile=\"0.5\""));
+        // Children sort by label set: degree=0 before degree=1.
+        let i0 = a.find("degree=\"0\"").unwrap();
+        let i1 = a.find("degree=\"1\"").unwrap();
+        assert!(i0 < i1);
+    }
+
+    #[test]
+    fn family_snapshot_json_round_trips_structure() {
+        let mut f = FamilyRegistry::new();
+        f.counter("c", &[("a", "x")]).incr();
+        f.gauge("g", &[]).set(-1.25);
+        f.histogram("h", &[("l", "v")]).record(3.0);
+        let js = f.snapshot_json();
+        assert_eq!(js, f.snapshot_json(), "snapshot JSON must be stable");
+        assert!(js.contains("\"name\": \"c\""));
+        assert!(js.contains("\"max_seen\": -1.25"));
+        assert!(js.contains("\"count\": 1"));
+        let snap = f.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(
+            snap.histograms[0].labels,
+            vec![("l".to_string(), "v".to_string())]
+        );
     }
 
     #[test]

@@ -15,6 +15,15 @@ fn run_scenario_with_cache(seed: u64, use_route_cache: bool) -> (Vec<f64>, u64, 
 }
 
 fn run_scenario_opts(seed: u64, use_route_cache: bool, spans: bool) -> (Vec<f64>, u64, String) {
+    run_scenario_full(seed, use_route_cache, spans, false)
+}
+
+fn run_scenario_full(
+    seed: u64,
+    use_route_cache: bool,
+    spans: bool,
+    noc: bool,
+) -> (Vec<f64>, u64, String) {
     let (net, ids) = PhotonicNetwork::testbed(8);
     let mut ctl = Controller::new(
         net,
@@ -28,6 +37,9 @@ fn run_scenario_opts(seed: u64, use_route_cache: bool, spans: bool) -> (Vec<f64>
         },
     );
     ctl.spans.set_enabled(spans);
+    if noc {
+        ctl.noc.enable(SimDuration::from_secs(30));
+    }
     let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
     let mut conns = Vec::new();
     for _ in 0..3 {
@@ -96,6 +108,42 @@ fn span_recording_does_not_change_outcomes() {
         0,
         "a disabled recorder must never allocate, even across full workflows"
     );
+}
+
+/// The NOC is pure observation: enabling the scrape + correlation engine
+/// must not change a single event, outage, or trace byte (it runs on its
+/// own scheduler and writes only to its own metric families) — while
+/// still actually observing the run.
+#[test]
+fn noc_observation_does_not_change_outcomes() {
+    let (o_off, e_off, t_off) = run_scenario_full(555, true, false, false);
+    let (o_on, e_on, t_on) = run_scenario_full(555, true, false, true);
+    assert_eq!(o_on, o_off, "outages must not depend on the NOC");
+    assert_eq!(e_on, e_off, "event count must not depend on the NOC");
+    assert_eq!(t_on, t_off, "trace must match byte for byte");
+}
+
+/// Same contract at the scenario-runner level: the full replayed report
+/// (orders, restorations, SLA, carrier metrics) is byte-identical with
+/// the NOC on or off, and the NOC-on run scraped and correlated.
+#[test]
+fn scenario_report_is_identical_noc_on_or_off() {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/testbed_outage.json"
+    ))
+    .expect("read scenario");
+    let spec_off: griphon_bench::scenario::ScenarioSpec = serde_json::from_str(&json).unwrap();
+    let mut spec_on = spec_off.clone();
+    spec_on.noc_scrape_secs = Some(60);
+    let (out_off, ctl_off) = griphon_bench::scenario::run_with(&spec_off).unwrap();
+    let (out_on, ctl_on) = griphon_bench::scenario::run_with(&spec_on).unwrap();
+    assert_eq!(out_on, out_off, "report must match byte for byte");
+    assert_eq!(ctl_on.events_processed(), ctl_off.events_processed());
+    assert!(!ctl_off.noc.is_enabled() && ctl_off.noc.families.is_empty());
+    assert!(ctl_on.noc.scrapes() > 0, "NOC-on run must have scraped");
+    assert_eq!(ctl_on.noc.unattributed(), 0);
+    assert!(ctl_on.noc.suppressed_total() > 0);
 }
 
 #[test]

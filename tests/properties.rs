@@ -470,3 +470,109 @@ proptest! {
         prop_assert_eq!(busy_ots as u64, 2 * live);
     }
 }
+
+proptest! {
+    /// Merging histograms is exactly equivalent to recording the union of
+    /// their samples: counts, extrema and (bucket-derived) quantiles are
+    /// bit-identical, and the moments agree to rounding.
+    #[test]
+    fn histogram_merge_equals_union_recording(
+        mut a in prop::collection::vec(0.0f64..1e6, 0..80),
+        mut b in prop::collection::vec(0.0f64..1e6, 0..80),
+        za in 0usize..4,
+        zb in 0usize..4,
+    ) {
+        // Exact zeros take a dedicated path in the histogram; make sure
+        // the union property covers it.
+        a.extend(std::iter::repeat_n(0.0, za));
+        b.extend(std::iter::repeat_n(0.0, zb));
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for v in &a {
+            ha.record(*v);
+            hu.record(*v);
+        }
+        for v in &b {
+            hb.record(*v);
+            hu.record(*v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile(q), hu.quantile(q));
+        }
+        // Sums differ only by float association order.
+        let tol = 1e-9 * hu.sum().abs().max(1.0);
+        prop_assert!((ha.sum() - hu.sum()).abs() <= tol);
+        prop_assert!((ha.mean() - hu.mean()).abs() <= tol);
+    }
+
+    /// Merging an empty histogram is the identity (in particular it must
+    /// not corrupt min/max with empty-state sentinels).
+    #[test]
+    fn histogram_merge_with_empty_is_identity(
+        a in prop::collection::vec(0.0f64..1e6, 1..40),
+    ) {
+        let mut h = Histogram::new();
+        for v in &a {
+            h.record(*v);
+        }
+        let (count, min, max, sum) = (h.count(), h.min(), h.max(), h.sum());
+        h.merge(&Histogram::new());
+        prop_assert_eq!(h.count(), count);
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.sum(), sum);
+    }
+
+    /// Time-series integration boundary handling: a zero-width window
+    /// integrates to zero, a window before the first point reads the
+    /// implicit zero level, and splitting any window at any interior
+    /// instant is additive.
+    #[test]
+    fn time_series_integral_boundaries(
+        pts in prop::collection::vec((0u64..1_000, 0.0f64..100.0), 0..40),
+        s in 0u64..1_200,
+        len in 0u64..1_200,
+        cut in 0.0f64..1.0,
+    ) {
+        let mut sorted = pts.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut ts = simcore::TimeSeries::new();
+        for (t, v) in &sorted {
+            ts.push(SimTime::from_secs(*t), *v);
+        }
+        let start = SimTime::from_secs(s);
+        let end = SimTime::from_secs(s + len);
+        // start == end → exactly zero, wherever the window sits relative
+        // to the points.
+        prop_assert_eq!(ts.integral(start, start), 0.0);
+        prop_assert_eq!(ts.integral(end, end), 0.0);
+        // Entirely before the first point: the step function is the
+        // implicit 0 level, so the integral is exactly zero.
+        if let Some((first, _)) = ts.points().first() {
+            if end < *first {
+                prop_assert_eq!(ts.integral(start, end), 0.0);
+            }
+        } else {
+            prop_assert_eq!(ts.integral(start, end), 0.0);
+        }
+        // Entirely after the last point: constant at the final value.
+        if let Some((last, v)) = ts.points().last() {
+            if start >= *last {
+                let expect = v * len as f64;
+                let tol = 1e-9 * expect.abs().max(1.0);
+                prop_assert!((ts.integral(start, end) - expect).abs() <= tol);
+            }
+        }
+        // Split additivity at an arbitrary interior instant.
+        let mid = SimTime::from_secs(s + (cut * len as f64) as u64);
+        let whole = ts.integral(start, end);
+        let split = ts.integral(start, mid) + ts.integral(mid, end);
+        let tol = 1e-9 * whole.abs().max(1.0);
+        prop_assert!((whole - split).abs() <= tol, "{} vs {}", whole, split);
+    }
+}
