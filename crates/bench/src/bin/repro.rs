@@ -2,60 +2,30 @@
 //!
 //! ```text
 //! cargo run -p griphon-bench --bin repro -- <target>
-//!
-//! targets: table1 table2 fig1 fig2 fig3 fig4 fig6 fig7
-//!          e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite
-//!          e5-bulk e6-grooming e7-ablation e8-protection e9-planning e10-sla all
-//!          bench-rwa (writes BENCH_rwa.json)
-//!          bench-cloud (writes BENCH_cloud.json)
-//!          trace (writes BENCH_trace.json + BENCH_trace_chrome.json)
-//!          noc (writes BENCH_noc.json + noc_exposition.txt)
+//! cargo run -p griphon-bench --bin repro -- --list
 //! ```
 //!
-//! See `EXPERIMENTS.md` for each target's output recorded against the
+//! The target set — names, descriptions, and runners — lives in one
+//! place, `griphon_bench::registry`; usage, `--list`, and dispatch are
+//! all derived from that table so they can never disagree. See
+//! `EXPERIMENTS.md` for each target's output recorded against the
 //! paper's numbers.
 
-use griphon_bench::experiments as exp;
+use griphon_bench::registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let target = args.first().map(String::as_str).unwrap_or("all");
-    let out = match target {
-        "table1" => exp::table1(),
-        "table2" => exp::table2(),
-        "fig1" => exp::fig_layers(false),
-        "fig2" => exp::fig_layers(true),
-        "fig3" => exp::fig3(),
-        "fig4" => exp::fig4(),
-        "fig6" => exp::fig6(),
-        "fig7" => exp::fig7(),
-        "e1-teardown" => exp::e1_teardown(),
-        "e2-restoration" => exp::e2_restoration(),
-        "e2b-parallelism" => exp::e2b_parallelism(),
-        "e3-maintenance" => exp::e3_maintenance(),
-        "e4-composite" => exp::e4_composite(),
-        "e5-bulk" => exp::e5_bulk(),
-        "e5b-full-mesh" => exp::e5b_full_mesh(),
-        "e6-grooming" => exp::e6_grooming(),
-        "e7-ablation" => exp::e7_ablation(),
-        "e8-protection" => exp::e8_protection(),
-        "e9-planning" => exp::e9_planning(),
-        "e10-sla" => exp::e10_sla(),
-        "perf" => exp::perf(),
-        "all" => exp::all(),
-        "bench-rwa" => griphon_bench::bench_json::emit("BENCH_rwa.json"),
-        "bench-cloud" => griphon_bench::bench_cloud::emit("BENCH_cloud.json"),
-        "trace" => griphon_bench::trace_target::emit("BENCH_trace.json", "BENCH_trace_chrome.json"),
-        "noc" => griphon_bench::noc_target::emit("BENCH_noc.json", "noc_exposition.txt"),
-        other => {
-            eprintln!(
-                "unknown target {other:?}; try: table1 table2 fig1 fig2 fig3 fig4 fig6 fig7 \
-                 e1-teardown e2-restoration e2b-parallelism e3-maintenance e4-composite e5-bulk e5b-full-mesh \
-                 e6-grooming e7-ablation e8-protection e9-planning e10-sla bench-rwa bench-cloud \
-                 trace noc all"
-            );
+    if target == "--list" || target == "-l" {
+        println!("{}", registry::list());
+        return;
+    }
+    match registry::find(target) {
+        Some(t) => println!("{}", (t.run)()),
+        None => {
+            eprintln!("unknown target {target:?}; targets:\n{}", registry::usage());
+            eprintln!("(repro --list describes each)");
             std::process::exit(2);
         }
-    };
-    println!("{out}");
+    }
 }

@@ -11,7 +11,9 @@
 pub mod bench_cloud;
 pub mod bench_json;
 pub mod experiments;
+pub mod ha_target;
 pub mod noc_target;
+pub mod registry;
 pub mod scenario;
 pub mod table;
 pub mod trace_target;

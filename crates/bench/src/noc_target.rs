@@ -28,14 +28,15 @@ use simcore::SimTime;
 use crate::scenario::{self, ScenarioSpec};
 
 /// The paper's testbed outage scenario, embedded so the bench runs from
-/// any working directory.
-const TESTBED_OUTAGE: &str = include_str!("../../../scenarios/testbed_outage.json");
+/// any working directory. Shared with `repro ha`.
+pub const TESTBED_OUTAGE: &str = include_str!("../../../scenarios/testbed_outage.json");
 
 /// A week on the NSFNET backbone with two staggered fiber cuts: the
 /// Lincoln–Champaign cut severs the OTN trunk (and the groomed 1 G
 /// tributaries riding it), the SanDiego–Houston cut hits the
-/// PaloAlto–Atlanta wavelength mid-route.
-const BACKBONE_WEEK_FAULTS: &str = r#"{
+/// PaloAlto–Atlanta wavelength mid-route. Shared with `repro ha`, which
+/// replays the same week under a crash schedule.
+pub const BACKBONE_WEEK_FAULTS: &str = r#"{
   "topology": { "nsfnet": { "ots_per_node": 8, "regens_per_node": 3 } },
   "deterministic": true,
   "tenants": [

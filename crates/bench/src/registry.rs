@@ -1,0 +1,247 @@
+//! The single source of truth for `repro` targets.
+//!
+//! Every target — its name, one-line description, and runner — lives in
+//! one table. The `repro` binary derives its usage text, its `--list`
+//! output, and its dispatch from this table, so a target added here can
+//! never drift out of the help text (the bug that hid `perf` and
+//! `e5b-full-mesh` from the usage strings).
+
+use crate::experiments as exp;
+
+/// One runnable `repro` target.
+pub struct Target {
+    /// Name passed on the command line (`repro <name>`).
+    pub name: &'static str,
+    /// One-line description for `repro --list`.
+    pub about: &'static str,
+    /// Runner; returns the text to print.
+    pub run: fn() -> String,
+}
+
+/// Every target, in the order usage and `--list` present them.
+pub const TARGETS: &[Target] = &[
+    Target {
+        name: "table1",
+        about: "Table 1 — provisioning latency per service class",
+        run: exp::table1,
+    },
+    Target {
+        name: "table2",
+        about: "Table 2 — control-plane phase breakdown",
+        run: exp::table2,
+    },
+    Target {
+        name: "fig1",
+        about: "Fig. 1 — layered testbed view (static)",
+        run: fig1,
+    },
+    Target {
+        name: "fig2",
+        about: "Fig. 2 — layered testbed view (with services)",
+        run: fig2,
+    },
+    Target {
+        name: "fig3",
+        about: "Fig. 3 — GUI connection view",
+        run: exp::fig3,
+    },
+    Target {
+        name: "fig4",
+        about: "Fig. 4 — testbed topology walk-through",
+        run: exp::fig4,
+    },
+    Target {
+        name: "fig6",
+        about: "Fig. 6 — bandwidth-on-demand timeline",
+        run: exp::fig6,
+    },
+    Target {
+        name: "fig7",
+        about: "Fig. 7 — restoration sequence",
+        run: exp::fig7,
+    },
+    Target {
+        name: "e1-teardown",
+        about: "E1 — teardown latency",
+        run: exp::e1_teardown,
+    },
+    Target {
+        name: "e2-restoration",
+        about: "E2 — restoration after a fiber cut",
+        run: exp::e2_restoration,
+    },
+    Target {
+        name: "e2b-parallelism",
+        about: "E2b — EMS parallelism ablation",
+        run: exp::e2b_parallelism,
+    },
+    Target {
+        name: "e3-maintenance",
+        about: "E3 — hitless maintenance roll",
+        run: exp::e3_maintenance,
+    },
+    Target {
+        name: "e4-composite",
+        about: "E4 — composite service lifecycle",
+        run: exp::e4_composite,
+    },
+    Target {
+        name: "e5-bulk",
+        about: "E5 — bulk provisioning sweep",
+        run: exp::e5_bulk,
+    },
+    Target {
+        name: "e5b-full-mesh",
+        about: "E5b — full-mesh NSFNET provisioning",
+        run: exp::e5b_full_mesh,
+    },
+    Target {
+        name: "e6-grooming",
+        about: "E6 — sub-wavelength grooming",
+        run: exp::e6_grooming,
+    },
+    Target {
+        name: "e7-ablation",
+        about: "E7 — feature ablation grid",
+        run: exp::e7_ablation,
+    },
+    Target {
+        name: "e8-protection",
+        about: "E8 — 1+1 protection switchover",
+        run: exp::e8_protection,
+    },
+    Target {
+        name: "e9-planning",
+        about: "E9 — calendar booking and planning",
+        run: exp::e9_planning,
+    },
+    Target {
+        name: "e10-sla",
+        about: "E10 — SLA availability accounting",
+        run: exp::e10_sla,
+    },
+    Target {
+        name: "perf",
+        about: "engine performance counters (route cache, CSR sweeps)",
+        run: exp::perf,
+    },
+    Target {
+        name: "all",
+        about: "every table, figure, and experiment above",
+        run: exp::all,
+    },
+    Target {
+        name: "bench-rwa",
+        about: "writes BENCH_rwa.json (RWA micro-benchmarks)",
+        run: bench_rwa,
+    },
+    Target {
+        name: "bench-cloud",
+        about: "writes BENCH_cloud.json (cloud workload replay)",
+        run: bench_cloud,
+    },
+    Target {
+        name: "trace",
+        about: "writes BENCH_trace.json + BENCH_trace_chrome.json",
+        run: trace,
+    },
+    Target {
+        name: "noc",
+        about: "writes BENCH_noc.json + noc_exposition.txt",
+        run: noc,
+    },
+    Target {
+        name: "ha",
+        about: "writes BENCH_ha.json (WAL, snapshots, crash-point failover)",
+        run: ha,
+    },
+];
+
+fn fig1() -> String {
+    exp::fig_layers(false)
+}
+
+fn fig2() -> String {
+    exp::fig_layers(true)
+}
+
+fn bench_rwa() -> String {
+    crate::bench_json::emit("BENCH_rwa.json")
+}
+
+fn bench_cloud() -> String {
+    crate::bench_cloud::emit("BENCH_cloud.json")
+}
+
+fn trace() -> String {
+    crate::trace_target::emit("BENCH_trace.json", "BENCH_trace_chrome.json")
+}
+
+fn noc() -> String {
+    crate::noc_target::emit("BENCH_noc.json", "noc_exposition.txt")
+}
+
+fn ha() -> String {
+    crate::ha_target::emit("BENCH_ha.json")
+}
+
+/// Look up a target by name.
+pub fn find(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
+/// The bare target-name list, wrapped for terminal width — used both in
+/// the usage error and the binary's doc comment.
+pub fn usage() -> String {
+    let mut out = String::new();
+    let mut line = String::new();
+    for t in TARGETS {
+        if !line.is_empty() && line.len() + t.name.len() + 1 > 72 {
+            out.push_str(line.trim_end());
+            out.push('\n');
+            line.clear();
+        }
+        line.push_str(t.name);
+        line.push(' ');
+    }
+    out.push_str(line.trim_end());
+    out
+}
+
+/// The `--list` output: one aligned `name — about` row per target.
+pub fn list() -> String {
+    let width = TARGETS.iter().map(|t| t.name.len()).max().unwrap_or(0);
+    TARGETS
+        .iter()
+        .map(|t| format!("{:width$}  {}", t.name, t.about))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        for (i, t) in TARGETS.iter().enumerate() {
+            assert!(
+                TARGETS[..i].iter().all(|u| u.name != t.name),
+                "duplicate target {}",
+                t.name
+            );
+            assert_eq!(find(t.name).unwrap().name, t.name);
+        }
+        assert!(find("no-such-target").is_none());
+    }
+
+    #[test]
+    fn usage_and_list_cover_every_target() {
+        let usage = usage();
+        let list = list();
+        for t in TARGETS {
+            assert!(usage.contains(t.name), "usage omits {}", t.name);
+            assert!(list.contains(t.name), "--list omits {}", t.name);
+        }
+    }
+}

@@ -184,6 +184,12 @@ pub struct ScenarioSpec {
     /// either way — see `griphon::noc` for the determinism contract.
     #[serde(default)]
     pub noc_scrape_secs: Option<u64>,
+    /// Journal every northbound intent to the write-ahead log before
+    /// executing it (`griphon::durability`). The scenario outcome is
+    /// byte-identical either way; the log is what crash recovery and the
+    /// warm standby replay.
+    #[serde(default)]
+    pub wal: bool,
     /// The timed actions.
     pub events: Vec<EventSpec>,
 }
@@ -248,6 +254,20 @@ pub fn run(spec: &ScenarioSpec) -> Result<String, ScenarioError> {
 /// so callers (the NOC bench target, tests) can inspect telemetry that
 /// deliberately never reaches the report text.
 pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioError> {
+    let mut ctl = genesis(spec);
+    if spec.wal {
+        ctl.enable_journal(griphon::WalConfig::default());
+    }
+    let out = drive(spec, &mut ctl, &mut |_| {})?;
+    Ok((out, ctl))
+}
+
+/// Build the genesis controller for a spec: plant, configuration, and
+/// NOC cadence — but none of the scenario's intents. Calling this twice
+/// with the same spec yields byte-identical controllers, which is what
+/// crash recovery and the warm standby replay against
+/// (`griphon::durability`).
+pub fn genesis(spec: &ScenarioSpec) -> Controller {
     let net = match spec.topology {
         TopologySpec::Testbed { ots_per_node } => PhotonicNetwork::testbed(ots_per_node).0,
         TopologySpec::Nsfnet {
@@ -267,7 +287,18 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
     if let Some(secs) = spec.noc_scrape_secs {
         ctl.noc.enable(SimDuration::from_secs(secs));
     }
+    ctl
+}
 
+/// Drive a spec's setup and timed events against `ctl`, invoking
+/// `barrier` after setup and after every event — the hook HA harnesses
+/// use as a log-shipping / snapshot point. Returns the accumulated
+/// report text.
+pub fn drive(
+    spec: &ScenarioSpec,
+    ctl: &mut Controller,
+    barrier: &mut dyn FnMut(&mut Controller),
+) -> Result<String, ScenarioError> {
     let node = |ctl: &Controller, name: &str| -> Result<RoadmId, ScenarioError> {
         ctl.net
             .roadm_by_name(name)
@@ -284,24 +315,24 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
     let tenants: Vec<CustomerId> = spec
         .tenants
         .iter()
-        .map(|t| {
-            ctl.tenants
-                .register(t.name.clone(), DataRate::from_gbps(t.quota_gbps))
-        })
+        // The journaled entry point, so tenant onboarding replays from
+        // the intent log like every other northbound call.
+        .map(|t| ctl.register_tenant(&t.name, DataRate::from_gbps(t.quota_gbps)))
         .collect();
     for name in &spec.otn_switches {
-        let n = node(&ctl, name)?;
+        let n = node(ctl, name)?;
         ctl.add_otn_switch(n, DataRate::from_gbps(320));
     }
     for (a, b) in &spec.trunks {
-        let na = node(&ctl, a)?;
-        let nb = node(&ctl, b)?;
+        let na = node(ctl, a)?;
+        let nb = node(ctl, b)?;
         // Trunk planning failures surface in the report, not as panics.
         if let Err(e) = ctl.provision_trunk(na, nb, LineRate::Gbps10) {
-            return Ok((format!("scenario aborted: trunk {a}–{b}: {e}\n"), ctl));
+            return Ok(format!("scenario aborted: trunk {a}–{b}: {e}\n"));
         }
     }
     ctl.run_until_idle();
+    barrier(ctl);
 
     let mut events: Vec<(usize, &EventSpec)> = spec.events.iter().enumerate().collect();
     events.sort_by_key(|(i, e)| (e.at_secs, *i));
@@ -325,7 +356,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 gbps,
             } => {
                 let t = tenant_of(*tenant)?;
-                let (f, d) = (node(&ctl, from)?, node(&ctl, to)?);
+                let (f, d) = (node(ctl, from)?, node(ctl, to)?);
                 match ctl.request_wavelength(t, f, d, rate_of(*gbps)?) {
                     Ok(id) => {
                         orders.push(id);
@@ -343,7 +374,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 gbps,
             } => {
                 let t = tenant_of(*tenant)?;
-                let (f, d) = (node(&ctl, from)?, node(&ctl, to)?);
+                let (f, d) = (node(ctl, from)?, node(ctl, to)?);
                 match ctl.request_protected_wavelength(t, f, d, rate_of(*gbps)?) {
                     Ok(id) => {
                         orders.push(id);
@@ -363,7 +394,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 gbps,
             } => {
                 let t = tenant_of(*tenant)?;
-                let (f, d) = (node(&ctl, from)?, node(&ctl, to)?);
+                let (f, d) = (node(ctl, from)?, node(ctl, to)?);
                 match ctl.request_bandwidth(t, f, d, DataRate::from_gbps(*gbps)) {
                     Ok(bundle) => {
                         let _ = writeln!(
@@ -394,17 +425,17 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 }
             }
             ActionSpec::CutFiber { a, b } => {
-                let f = fiber(&ctl, a, b)?;
+                let f = fiber(ctl, a, b)?;
                 ctl.inject_fiber_cut(f, 0);
                 let _ = writeln!(out, "[{}] CUT {a}–{b}", ctl.now());
             }
             ActionSpec::Repair { a, b, after_secs } => {
-                let f = fiber(&ctl, a, b)?;
+                let f = fiber(ctl, a, b)?;
                 ctl.schedule_repair(f, SimDuration::from_secs(*after_secs));
                 let _ = writeln!(out, "[{}] repair {a}–{b} in {after_secs}s", ctl.now());
             }
             ActionSpec::Maintenance { a, b } => {
-                let f = fiber(&ctl, a, b)?;
+                let f = fiber(ctl, a, b)?;
                 match ctl.start_fiber_maintenance(f) {
                     Ok(moved) => {
                         let _ = writeln!(
@@ -420,7 +451,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 }
             }
             ActionSpec::EndMaintenance { a, b } => {
-                let f = fiber(&ctl, a, b)?;
+                let f = fiber(ctl, a, b)?;
                 ctl.end_fiber_maintenance(f);
                 let _ = writeln!(out, "[{}] maintenance done {a}–{b}", ctl.now());
             }
@@ -433,7 +464,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 end_secs,
             } => {
                 let t = tenant_of(*tenant)?;
-                let (f, d) = (node(&ctl, from)?, node(&ctl, to)?);
+                let (f, d) = (node(ctl, from)?, node(ctl, to)?);
                 match ctl.reserve_bandwidth(
                     t,
                     f,
@@ -473,6 +504,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
                 out.push('\n');
             }
         }
+        barrier(ctl);
     }
     ctl.run_until_idle();
     let _ = writeln!(out, "\n===== final state at {} =====", ctl.now());
@@ -480,7 +512,7 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
         out.push_str(&ctl.customer_view(*t));
     }
     out.push_str(&ctl.metrics.report());
-    Ok((out, ctl))
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -114,9 +114,19 @@ impl Controller {
         to: RoadmId,
         target: DataRate,
     ) -> Result<Bundle, RequestError> {
+        // One journal record covers the whole composite order: the member
+        // wavelength/OTN intents (and any rollback teardowns) below are
+        // re-derived deterministically on replay.
+        self.journal_record(|| crate::durability::Intent::Bandwidth {
+            customer: customer.raw(),
+            from: from.raw(),
+            to: to.raw(),
+            target_bps: target.bps(),
+        });
         let d = Decomposition::plan(target, self.cfg_otn_remainder());
         let mut members: Vec<ConnectionId> = Vec::new();
         let mut failed: Option<RequestError> = None;
+        self.journal_depth += 1;
         for _ in 0..d.wavelengths_10g {
             match self.request_wavelength(customer, from, to, LineRate::Gbps10) {
                 Ok(id) => members.push(id),
@@ -142,8 +152,10 @@ impl Controller {
             for id in &members {
                 let _ = self.request_teardown(*id);
             }
+            self.journal_depth -= 1;
             return Err(e);
         }
+        self.journal_depth -= 1;
         let id = BundleId::new(self.metrics.counter("bod.bundles").get() as u32);
         self.metrics.counter("bod.bundles").incr();
         if self.spans.is_enabled() {
@@ -176,7 +188,18 @@ impl Controller {
 
     /// Tear down every member of a bundle.
     pub fn release_bundle(&mut self, bundle: &Bundle) {
-        for id in &bundle.members {
+        self.journal_record(|| crate::durability::Intent::ReleaseBundle {
+            members: bundle.members.iter().map(|m| m.raw()).collect(),
+        });
+        let members = bundle.members.clone();
+        self.journaled(|c| c.release_members(&members));
+    }
+
+    /// Tear down a list of member connections (shared by
+    /// [`Self::release_bundle`] and log replay, which has only the raw
+    /// member list).
+    pub(crate) fn release_members(&mut self, members: &[ConnectionId]) {
+        for id in members {
             let _ = self.request_teardown(*id);
         }
     }

@@ -98,6 +98,11 @@ impl Controller {
     /// Cap concurrent bookings between a node pair (defaults to 40 G per
     /// pair when unset).
     pub fn set_booking_capacity(&mut self, a: RoadmId, b: RoadmId, cap: DataRate) {
+        self.journal_record(|| crate::durability::Intent::SetBookingCapacity {
+            a: a.raw(),
+            b: b.raw(),
+            cap_bps: cap.bps(),
+        });
         let key = if a <= b { (a, b) } else { (b, a) };
         self.booking_caps.insert(key, cap);
     }
@@ -120,6 +125,14 @@ impl Controller {
         start: SimTime,
         end: SimTime,
     ) -> Result<ReservationId, CalendarError> {
+        self.journal_record(|| crate::durability::Intent::Reserve {
+            customer: customer.raw(),
+            from: from.raw(),
+            to: to.raw(),
+            rate_bps: rate.bps(),
+            start_ns: start.as_nanos(),
+            end_ns: end.as_nanos(),
+        });
         if end <= start || start < self.now() {
             return Err(CalendarError::BadWindow);
         }
@@ -182,6 +195,9 @@ impl Controller {
     /// Cancel a booking before its window opens.
     /// Returns `false` if it had already activated/completed.
     pub fn cancel_reservation(&mut self, id: ReservationId) -> bool {
+        self.journal_record(|| crate::durability::Intent::CancelReservation {
+            reservation: id.raw(),
+        });
         let Some(r) = self.reservations.get_mut(id.index()) else {
             return false;
         };

@@ -163,6 +163,20 @@ pub enum WorkflowKind {
     ProtectionSwitch,
 }
 
+impl WorkflowKind {
+    /// Stable label for the workflow ledger and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkflowKind::Setup => "setup",
+            WorkflowKind::Teardown => "teardown",
+            WorkflowKind::Restore => "restore",
+            WorkflowKind::Bridge => "bridge",
+            WorkflowKind::Roll => "roll",
+            WorkflowKind::ProtectionSwitch => "protection_switch",
+        }
+    }
+}
+
 /// Events flowing through the controller's scheduler.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -404,6 +418,28 @@ pub struct Controller {
     /// Kept out of `metrics` so deterministic scenario reports stay
     /// bit-identical across runs; read it via [`Controller::perf_summary`].
     pub perf: LatencyRecorder,
+    /// The write-ahead intent log, when durability is enabled
+    /// ([`Controller::enable_journal`]). `None` costs nothing and the
+    /// simulation outcome is byte-identical either way.
+    pub(crate) journal: Option<crate::durability::Wal>,
+    /// Re-entrancy depth of intent execution. Only depth-0 (northbound)
+    /// calls journal: nested intents issued by composite operations or by
+    /// event handlers are re-derived deterministically on replay.
+    pub(crate) journal_depth: u32,
+    /// In-flight EMS workflow ledger: which device workflows are open,
+    /// and how recovery disposed of them (resumed vs rolled back).
+    pub workflows: photonic::WorkflowLedger,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("now", &self.sched.now())
+            .field("events", &self.sched.events_delivered())
+            .field("conns", &self.conns.len())
+            .field("trunks", &self.trunks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Controller {
@@ -437,8 +473,82 @@ impl Controller {
             noc: crate::noc::Noc::new(),
             engine: rwa::PathEngine::new(),
             perf: LatencyRecorder::new(),
+            journal: None,
+            journal_depth: 0,
+            workflows: photonic::WorkflowLedger::default(),
             cfg,
         }
+    }
+
+    // ── durability ──────────────────────────────────────────────────
+
+    /// Turn on write-ahead intent logging. Every subsequent northbound
+    /// mutating call is appended to the log before it executes.
+    pub fn enable_journal(&mut self, cfg: crate::durability::WalConfig) {
+        self.journal = Some(crate::durability::Wal::new(cfg));
+    }
+
+    /// The write-ahead log, if journaling is enabled.
+    pub fn journal(&self) -> Option<&crate::durability::Wal> {
+        self.journal.as_ref()
+    }
+
+    /// Install an already-populated log (recovery reinstalls the
+    /// surviving history so the replica keeps journaling where the
+    /// primary left off).
+    pub fn install_journal(&mut self, wal: crate::durability::Wal) {
+        self.journal = Some(wal);
+    }
+
+    /// Detach the log, leaving journaling off.
+    pub fn take_journal(&mut self) -> Option<crate::durability::Wal> {
+        self.journal.take()
+    }
+
+    /// Append an intent to the journal — but only when called from the
+    /// northbound surface (depth 0). Composite operations and event
+    /// handlers bump [`Self::journal_depth`] around nested intent calls,
+    /// so replaying the top-level record regenerates the nested activity
+    /// instead of double-applying it. The closure keeps the encoding off
+    /// the hot path when journaling is disabled.
+    pub(crate) fn journal_record(&mut self, make: impl FnOnce() -> crate::durability::Intent) {
+        if self.journal_depth == 0 {
+            if let Some(w) = self.journal.as_mut() {
+                let now = self.sched.now();
+                w.append(now, &make());
+            }
+        }
+    }
+
+    /// Run `f` with journaling suppressed: nested intents it issues are
+    /// covered by the caller's (already appended) record.
+    pub(crate) fn journaled<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.journal_depth += 1;
+        let r = f(self);
+        self.journal_depth -= 1;
+        r
+    }
+
+    /// Register a tenant through the journaled northbound surface.
+    /// Scenario code that builds genesis state before enabling the
+    /// journal can keep using `tenants.register` directly.
+    pub fn register_tenant(&mut self, name: &str, quota: simcore::DataRate) -> CustomerId {
+        self.register_tenant_with_priority(name, quota, crate::tenant::DEFAULT_PRIORITY)
+    }
+
+    /// [`Self::register_tenant`] with an explicit restoration priority.
+    pub fn register_tenant_with_priority(
+        &mut self,
+        name: &str,
+        quota: simcore::DataRate,
+        priority: u8,
+    ) -> CustomerId {
+        self.journal_record(|| crate::durability::Intent::RegisterTenant {
+            name: name.to_string(),
+            quota_bps: quota.bps(),
+            priority,
+        });
+        self.tenants.register_with_priority(name, quota, priority)
     }
 
     /// Plan a wavelength connection through the controller's
@@ -492,7 +602,10 @@ impl Controller {
     /// Process one pending event, if any. Returns its timestamp.
     pub fn step(&mut self) -> Option<SimTime> {
         let (t, ev) = self.sched.pop()?;
-        self.handle(ev);
+        // Event handlers are derived activity: any intents they issue
+        // (restoration, reservation activation) replay from the schedule,
+        // not the journal.
+        self.journaled(|c| c.handle(ev));
         self.noc_pump();
         Some(t)
     }
@@ -501,7 +614,7 @@ impl Controller {
     /// are processed); the clock ends at `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some((_, ev)) = self.sched.pop_until(deadline) {
-            self.handle(ev);
+            self.journaled(|c| c.handle(ev));
             self.noc_pump();
         }
         if self.sched.now() < deadline {
@@ -583,6 +696,12 @@ impl Controller {
         to: RoadmId,
         rate: LineRate,
     ) -> Result<ConnectionId, RequestError> {
+        self.journal_record(|| crate::durability::Intent::Wavelength {
+            customer: customer.raw(),
+            from: from.raw(),
+            to: to.raw(),
+            rate: crate::durability::wal::encode_rate(rate),
+        });
         self.tenants.admit(customer, rate.rate())?;
         let plan = match self.plan_wavelength(from, to, rate, &[]) {
             Ok(p) => p,
@@ -624,18 +743,13 @@ impl Controller {
                 .attr_u64(root, "lambda", u64::from(plan.lambda.0));
             self.emit_setup_spans(root, t0, &sample);
         }
-        self.sched.schedule_after(
-            dur,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Setup,
-            },
-        );
+        self.schedule_workflow(dur, id, WorkflowKind::Setup);
         Ok(id)
     }
 
     /// Order teardown of a connection (any non-terminal state).
     pub fn request_teardown(&mut self, id: ConnectionId) -> Result<(), RequestError> {
+        self.journal_record(|| crate::durability::Intent::Teardown { conn: id.raw() });
         let conn = self
             .conns
             .get_mut(&id)
@@ -665,13 +779,7 @@ impl Controller {
             "conn",
             format!("{id} teardown started eta={dur}"),
         );
-        self.sched.schedule_after(
-            dur,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Teardown,
-            },
-        );
+        self.schedule_workflow(dur, id, WorkflowKind::Teardown);
         Ok(())
     }
 
@@ -1141,6 +1249,30 @@ impl Controller {
         id
     }
 
+    /// Schedule a connection workflow's completion event and open it in
+    /// the in-flight EMS ledger — the single gate every device workflow
+    /// passes through, so recovery knows exactly what was outstanding.
+    pub(crate) fn schedule_workflow(
+        &mut self,
+        dur: SimDuration,
+        conn: ConnectionId,
+        kind: WorkflowKind,
+    ) {
+        self.workflows.begin(conn.raw(), kind.label());
+        self.sched
+            .schedule_after(dur, Event::WorkflowDone { conn, kind });
+    }
+
+    /// [`Self::schedule_workflow`] for trunk workflows.
+    pub(crate) fn schedule_trunk_workflow(&mut self, dur: SimDuration, trunk: TrunkId, ev: Event) {
+        let label = match ev {
+            Event::TrunkRestored { .. } => "trunk_restore",
+            _ => "trunk_provision",
+        };
+        self.workflows.begin(trunk.raw(), label);
+        self.sched.schedule_after(dur, ev);
+    }
+
     // ── event dispatch ──────────────────────────────────────────────
 
     fn handle(&mut self, ev: Event) {
@@ -1160,10 +1292,20 @@ impl Controller {
         // span stream stays well-formed even when a teardown or failure
         // raced the workflow and the completion is a no-op.
         self.close_workflow_span(id, kind);
+        self.workflows.complete(id.raw(), kind.label());
         match kind {
             WorkflowKind::Setup => {
                 let now = self.now();
-                let conn = self.conns.get_mut(&id).expect("setup for unknown conn");
+                // A completion for a connection the controller no longer
+                // knows is stale — tolerated (not a panic) so a corrupt or
+                // hand-edited log surfaces as a recovery error upstream
+                // instead of tearing the process down.
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    self.metrics.counter("workflow.orphaned").incr();
+                    self.trace
+                        .emit(self.sched.now(), "conn", format!("{id} orphan setup done"));
+                    return;
+                };
                 // A teardown or failure may have raced the setup; only a
                 // still-provisioning connection activates.
                 if conn.state != ConnState::Provisioning {
@@ -1194,7 +1336,12 @@ impl Controller {
             }
             WorkflowKind::Teardown => {
                 let now = self.now();
-                let conn = self.conns.get_mut(&id).expect("teardown for unknown conn");
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    self.metrics.counter("workflow.orphaned").incr();
+                    self.trace
+                        .emit(now, "conn", format!("{id} orphan teardown done"));
+                    return;
+                };
                 if conn.state != ConnState::TearingDown {
                     return;
                 }
@@ -1246,6 +1393,103 @@ impl Controller {
             .filter(|r| self.net.regen(*r).in_use)
             .count();
         (total, used)
+    }
+
+    // ── durable-state capture ───────────────────────────────────────
+
+    /// A deterministic deep copy of this controller: the snapshot
+    /// primitive. Persistent state — inventory, scheduler, RNG, tenants,
+    /// traces, metrics — is cloned field by field; *derived* state is
+    /// reset: the journal detaches (a replica journals independently),
+    /// the wall-clock perf recorder starts fresh (host time is not
+    /// state), and the path engine restarts cold (its route cache is
+    /// proven outcome-neutral by `tests/determinism.rs`).
+    pub fn fork(&self) -> Controller {
+        Controller {
+            net: self.net.clone(),
+            switches: self.switches.clone(),
+            switch_at: self.switch_at.clone(),
+            trunks: self.trunks.clone(),
+            tenants: self.tenants.clone(),
+            cfg: self.cfg.clone(),
+            ems: self.ems.clone(),
+            rng: self.rng.clone(),
+            sched: self.sched.clone(),
+            conns: self.conns.clone(),
+            next_conn: self.next_conn,
+            next_trunk: self.next_trunk,
+            restoration_queue: self.restoration_queue.clone(),
+            restorations_in_flight: self.restorations_in_flight,
+            down_fibers: self.down_fibers.clone(),
+            pending_maintenance: self.pending_maintenance.clone(),
+            reservations: self.reservations.clone(),
+            booking_caps: self.booking_caps.clone(),
+            fxc_at: self.fxc_at.clone(),
+            trace: self.trace.clone(),
+            spans: self.spans.clone(),
+            workflow_spans: self.workflow_spans.clone(),
+            trunk_spans: self.trunk_spans.clone(),
+            restoration_enqueued_at: self.restoration_enqueued_at.clone(),
+            metrics: self.metrics.clone(),
+            noc: self.noc.clone(),
+            engine: rwa::PathEngine::new(),
+            perf: LatencyRecorder::new(),
+            journal: None,
+            journal_depth: 0,
+            workflows: self.workflows.clone(),
+        }
+    }
+
+    /// A canonical multi-line rendering of every byte of *persistent*
+    /// controller state — the byte-identity oracle behind the durable
+    /// control plane: recovery is correct iff the recovered replica's
+    /// digest equals the primary's.
+    ///
+    /// Includes the clock, event counter, id counters, the full RNG
+    /// state, the scheduler's pending events in delivery order, the
+    /// entire inventory (network, switches, trunks, connections), the
+    /// tenant table, calendar, maintenance and restoration state, the
+    /// workflow ledger, metrics, and a checksum of the trace. Excludes
+    /// observational or host-bound layers that are proven
+    /// outcome-neutral: the NOC (its scrape values depend on event-loop
+    /// boundaries replay need not reproduce), the span recorder, the
+    /// wall-clock perf recorder, the path-engine cache, and the journal
+    /// itself.
+    pub fn state_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "now={}", self.sched.now().as_nanos());
+        let _ = writeln!(out, "events={}", self.sched.events_delivered());
+        let _ = writeln!(out, "next_conn={}", self.next_conn);
+        let _ = writeln!(out, "next_trunk={}", self.next_trunk);
+        let _ = writeln!(out, "rng={:?}", self.rng.state_words());
+        let _ = writeln!(out, "pending:");
+        for (at, seq, ev) in self.sched.pending_entries() {
+            let _ = writeln!(out, "  {} #{seq} {ev:?}", at.as_nanos());
+        }
+        let _ = writeln!(out, "tenants={:?}", self.tenants);
+        let _ = writeln!(out, "conns={:?}", self.conns);
+        let _ = writeln!(out, "trunks={:?}", self.trunks);
+        let _ = writeln!(out, "switch_at={:?}", self.switch_at);
+        let _ = writeln!(out, "switches={:?}", self.switches);
+        let _ = writeln!(out, "reservations={:?}", self.reservations);
+        let _ = writeln!(out, "booking_caps={:?}", self.booking_caps);
+        let _ = writeln!(out, "down_fibers={:?}", self.down_fibers);
+        let _ = writeln!(out, "pending_maint={:?}", self.pending_maintenance);
+        let _ = writeln!(out, "restore_q={:?}", self.restoration_queue);
+        let _ = writeln!(out, "restore_inflight={}", self.restorations_in_flight);
+        let _ = writeln!(out, "fxc_at={:?}", self.fxc_at);
+        let _ = writeln!(out, "{}", self.workflows.dump());
+        let _ = writeln!(out, "metrics={:?}", self.metrics);
+        let trace_dump = self.trace.dump();
+        let _ = writeln!(
+            out,
+            "trace lines={} crc={:#010x}",
+            trace_dump.lines().count(),
+            simcore::crc32c(trace_dump.as_bytes())
+        );
+        let _ = writeln!(out, "net={:?}", self.net);
+        out
     }
 }
 

@@ -41,6 +41,10 @@ impl Controller {
     /// Sever a fiber at `span`. The physical outage starts immediately;
     /// the controller reacts when the alarms surface.
     pub fn inject_fiber_cut(&mut self, fiber: FiberId, span: usize) {
+        self.journal_record(|| crate::durability::Intent::CutFiber {
+            fiber: fiber.raw(),
+            span: span as u32,
+        });
         let now = self.now();
         let detection = self.cfg.detection;
         let alarms = self.net.cut_fiber(fiber, span, now, &detection);
@@ -125,6 +129,10 @@ impl Controller {
     /// Schedule the repair crew: the fiber returns to service after
     /// `repair_time` (4–12 h for a real cut).
     pub fn schedule_repair(&mut self, fiber: FiberId, repair_time: SimDuration) {
+        self.journal_record(|| crate::durability::Intent::ScheduleRepair {
+            fiber: fiber.raw(),
+            after_ns: repair_time.as_nanos(),
+        });
         self.sched
             .schedule_after(repair_time, Event::FiberRepaired { fiber });
     }
@@ -134,6 +142,7 @@ impl Controller {
     /// alarm after its polling interval, which triggers restoration on a
     /// healthy spare OT.
     pub fn inject_ot_failure(&mut self, ot: photonic::TransponderId) {
+        self.journal_record(|| crate::durability::Intent::OtFailure { ot: ot.raw() });
         let now = self.now();
         self.net.transponder_mut(ot).fail();
         self.metrics.counter("fault.ot_failures").incr();
@@ -343,13 +352,7 @@ impl Controller {
                         self.emit_setup_spans(root, now, &sample);
                     }
                     self.restorations_in_flight += 1;
-                    self.sched.schedule_after(
-                        dur,
-                        Event::WorkflowDone {
-                            conn: id,
-                            kind: WorkflowKind::Restore,
-                        },
-                    );
+                    self.schedule_workflow(dur, id, WorkflowKind::Restore);
                     return true;
                 }
                 Err(e) => {
@@ -422,8 +425,7 @@ impl Controller {
                         self.trunk_spans.insert(tid, root);
                     }
                 }
-                self.sched
-                    .schedule_after(dur, Event::TrunkRestored { trunk: tid });
+                self.schedule_trunk_workflow(dur, tid, Event::TrunkRestored { trunk: tid });
             }
             Err(e) => {
                 self.metrics.counter("fault.trunk_restore_blocked").incr();
@@ -435,6 +437,7 @@ impl Controller {
 
     pub(crate) fn on_trunk_restored(&mut self, tid: TrunkId) {
         let now = self.now();
+        self.workflows.complete(tid.raw(), "trunk_restore");
         if let Some(root) = self.trunk_spans.remove(&tid) {
             self.spans.close(root, now);
         }

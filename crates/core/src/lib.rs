@@ -52,6 +52,7 @@ pub mod bod;
 pub mod calendar;
 pub mod connection;
 pub mod controller;
+pub mod durability;
 pub mod fault;
 pub mod gui;
 pub mod inventory;
@@ -69,6 +70,10 @@ pub use bod::{Bundle, BundleId, Decomposition};
 pub use calendar::{CalendarError, Reservation, ReservationId, ReservationState};
 pub use connection::{ConnState, Connection, ConnectionId, ConnectionKind, TrunkId};
 pub use controller::{Controller, ControllerConfig, RequestError, Trunk};
+pub use durability::{
+    recover, FailoverConfig, FailoverReport, HaPair, Intent, RecoveryError, RecoveryOutcome,
+    Snapshot, SnapshotMeta, SnapshotStore, StandbyController, Wal, WalConfig, WalError, WalRecord,
+};
 pub use inventory::InventorySnapshot;
 pub use layers::{Layer, LayerStack, ServiceCategory};
 pub use noc::{Noc, RootCause};

@@ -27,7 +27,7 @@ use photonic::{EmsCommand, FiberId};
 use simcore::SimDuration;
 
 use crate::connection::{ConnState, ConnectionId, ConnectionKind, Resources};
-use crate::controller::{Controller, Event, RequestError, WorkflowKind};
+use crate::controller::{Controller, RequestError, WorkflowKind};
 
 impl Controller {
     /// Stage a bridge for `id` on a path avoiding `excluded` fibers (the
@@ -38,6 +38,10 @@ impl Controller {
         id: ConnectionId,
         excluded: &[FiberId],
     ) -> Result<usize, RequestError> {
+        self.journal_record(|| crate::durability::Intent::BridgeRoll {
+            conn: id.raw(),
+            excluded: excluded.iter().map(|f| f.raw()).collect(),
+        });
         let conn = self
             .conns
             .get(&id)
@@ -75,13 +79,7 @@ impl Controller {
             self.spans.attr_u64(root, "hops", hops as u64);
             self.emit_setup_spans(root, t0, &sample);
         }
-        self.sched.schedule_after(
-            dur,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Bridge,
-            },
-        );
+        self.schedule_workflow(dur, id, WorkflowKind::Bridge);
         Ok(hops)
     }
 
@@ -117,13 +115,7 @@ impl Controller {
         }
         self.trace
             .emit(now, "maint", format!("{id} bridge ready, rolling ({roll})"));
-        self.sched.schedule_after(
-            roll,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Roll,
-            },
-        );
+        self.schedule_workflow(roll, id, WorkflowKind::Roll);
         // The roll is the hit.
         self.metrics
             .histogram("maintenance.hit_ms")
@@ -181,6 +173,9 @@ impl Controller {
         &mut self,
         fiber: FiberId,
     ) -> Result<Vec<ConnectionId>, RequestError> {
+        self.journal_record(|| crate::durability::Intent::StartFiberMaintenance {
+            fiber: fiber.raw(),
+        });
         let using: Vec<ConnectionId> = self
             .conns
             .values()
@@ -197,10 +192,14 @@ impl Controller {
             return Ok(Vec::new());
         }
         let mut moved = Vec::new();
-        for id in using {
-            self.bridge_and_roll(id, &[fiber])?;
-            moved.push(id);
-        }
+        let rolled: Result<(), RequestError> = self.journaled(|c| {
+            for id in using {
+                c.bridge_and_roll(id, &[fiber])?;
+                moved.push(id);
+            }
+            Ok(())
+        });
+        rolled?;
         self.pending_maintenance
             .insert(fiber, moved.iter().copied().collect());
         Ok(moved)
@@ -208,6 +207,9 @@ impl Controller {
 
     /// Return a fiber from maintenance to service.
     pub fn end_fiber_maintenance(&mut self, fiber: FiberId) {
+        self.journal_record(|| crate::durability::Intent::EndFiberMaintenance {
+            fiber: fiber.raw(),
+        });
         self.net.fiber_mut(fiber).restore();
         self.trace
             .emit(self.now(), "maint", format!("{fiber} back in service"));
@@ -222,6 +224,10 @@ impl Controller {
         id: ConnectionId,
         excluded: &[FiberId],
     ) -> Result<(), RequestError> {
+        self.journal_record(|| crate::durability::Intent::ColdReroute {
+            conn: id.raw(),
+            excluded: excluded.iter().map(|f| f.raw()).collect(),
+        });
         let conn = self
             .conns
             .get(&id)
@@ -271,13 +277,7 @@ impl Controller {
             "maint",
             format!("{id} cold reroute, outage will be {hit}"),
         );
-        self.sched.schedule_after(
-            hit,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Restore,
-            },
-        );
+        self.schedule_workflow(hit, id, WorkflowKind::Restore);
         Ok(())
     }
 
@@ -285,6 +285,7 @@ impl Controller {
     /// for `id`, migrate onto it via bridge-and-roll. Returns `Some(km
     /// saved)` when a migration was started.
     pub fn regroom(&mut self, id: ConnectionId) -> Result<Option<f64>, RequestError> {
+        self.journal_record(|| crate::durability::Intent::Regroom { conn: id.raw() });
         let conn = self
             .conns
             .get(&id)
@@ -319,13 +320,7 @@ impl Controller {
                         self.spans.attr_u64(root, "hops", hops as u64);
                         self.emit_setup_spans(root, t0, &sample);
                     }
-                    self.sched.schedule_after(
-                        dur,
-                        Event::WorkflowDone {
-                            conn: id,
-                            kind: WorkflowKind::Bridge,
-                        },
-                    );
+                    self.schedule_workflow(dur, id, WorkflowKind::Bridge);
                     Ok(Some(old_km - new_km))
                 } else {
                     Ok(None)
@@ -345,6 +340,9 @@ impl Controller {
         &mut self,
         node: photonic::RoadmId,
     ) -> Result<(Vec<ConnectionId>, Vec<ConnectionId>), RequestError> {
+        self.journal_record(|| crate::durability::Intent::StartNodeMaintenance {
+            node: node.raw(),
+        });
         let node_fibers: Vec<FiberId> = self.net.neighbors(node).iter().map(|&(f, _)| f).collect();
         let mut through = Vec::new();
         let mut terminating = Vec::new();
@@ -364,9 +362,13 @@ impl Controller {
                 through.push(id);
             }
         }
-        for id in &through {
-            self.bridge_and_roll(*id, &node_fibers)?;
-        }
+        let rolled: Result<(), RequestError> = self.journaled(|c| {
+            for id in &through {
+                c.bridge_and_roll(*id, &node_fibers)?;
+            }
+            Ok(())
+        });
+        rolled?;
         self.trace.emit(
             self.now(),
             "maint",
@@ -385,6 +387,7 @@ impl Controller {
     /// `(migrations started, total km saved)`. Run after network
     /// augmentation ("additional routes between nodes will be added").
     pub fn regroom_all(&mut self) -> (usize, f64) {
+        self.journal_record(|| crate::durability::Intent::RegroomAll);
         let candidates: Vec<ConnectionId> = self
             .conns
             .values()
@@ -397,12 +400,14 @@ impl Controller {
             .collect();
         let mut started = 0;
         let mut km = 0.0;
+        self.journal_depth += 1;
         for id in candidates {
             if let Ok(Some(saved)) = self.regroom(id) {
                 started += 1;
                 km += saved;
             }
         }
+        self.journal_depth -= 1;
         (started, km)
     }
 

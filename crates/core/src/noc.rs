@@ -80,7 +80,7 @@ pub struct Domain {
 /// The NOC: scrape engine + correlation engine. Lives on
 /// [`crate::controller::Controller`] as the `noc` field; disabled (and
 /// free) by default — call [`Noc::enable`] before driving the controller.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Noc {
     enabled: bool,
     interval: SimDuration,

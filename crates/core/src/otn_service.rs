@@ -32,6 +32,10 @@ impl Controller {
     /// # Panics
     /// If the node already has a switch.
     pub fn add_otn_switch(&mut self, node: RoadmId, fabric_capacity: DataRate) -> usize {
+        self.journal_record(|| crate::durability::Intent::AddOtnSwitch {
+            node: node.raw(),
+            fabric_bps: fabric_capacity.bps(),
+        });
         assert!(
             !self.switch_at.contains_key(&node),
             "{node} already has an OTN switch"
@@ -55,6 +59,11 @@ impl Controller {
         b: RoadmId,
         rate: LineRate,
     ) -> Result<TrunkId, RequestError> {
+        self.journal_record(|| crate::durability::Intent::ProvisionTrunk {
+            a: a.raw(),
+            b: b.raw(),
+            rate: crate::durability::wal::encode_rate(rate),
+        });
         let sa = self.otn_switch_at(a).ok_or(RequestError::NoOtnSwitch(a))?;
         let sb = self.otn_switch_at(b).ok_or(RequestError::NoOtnSwitch(b))?;
         let plan = self.plan_wavelength(a, b, rate, &[])?;
@@ -95,13 +104,13 @@ impl Controller {
                 self.trunk_spans.insert(id, root);
             }
         }
-        self.sched
-            .schedule_after(dur, Event::TrunkReady { trunk: id });
+        self.schedule_trunk_workflow(dur, id, Event::TrunkReady { trunk: id });
         Ok(id)
     }
 
     pub(crate) fn on_trunk_ready(&mut self, id: TrunkId) {
         let now = self.now();
+        self.workflows.complete(id.raw(), "trunk_provision");
         if let Some(root) = self.trunk_spans.remove(&id) {
             self.spans.close(root, now);
         }
@@ -135,6 +144,12 @@ impl Controller {
         to: RoadmId,
         signal: ClientSignal,
     ) -> Result<ConnectionId, RequestError> {
+        self.journal_record(|| crate::durability::Intent::Subwavelength {
+            customer: customer.raw(),
+            from: from.raw(),
+            to: to.raw(),
+            signal: crate::durability::wal::encode_signal(signal),
+        });
         let s_from = self
             .otn_switch_at(from)
             .ok_or(RequestError::NoOtnSwitch(from))?;
@@ -193,13 +208,7 @@ impl Controller {
                 trunk_path.len()
             ),
         );
-        self.sched.schedule_after(
-            dur,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Setup,
-            },
-        );
+        self.schedule_workflow(dur, id, WorkflowKind::Setup);
         Ok(id)
     }
 

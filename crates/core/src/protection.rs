@@ -23,7 +23,7 @@ use simcore::SimDuration;
 use photonic::{FiberId, LineRate, RoadmId};
 
 use crate::connection::{ConnState, Connection, ConnectionId, ConnectionKind, Resources};
-use crate::controller::{Controller, Event, RequestError, WorkflowKind};
+use crate::controller::{Controller, RequestError, WorkflowKind};
 use crate::rwa::{self, WavelengthPlan};
 use crate::tenant::CustomerId;
 
@@ -56,6 +56,12 @@ impl Controller {
         to: RoadmId,
         rate: LineRate,
     ) -> Result<ConnectionId, RequestError> {
+        self.journal_record(|| crate::durability::Intent::ProtectedWavelength {
+            customer: customer.raw(),
+            from: from.raw(),
+            to: to.raw(),
+            rate: crate::durability::wal::encode_rate(rate),
+        });
         self.tenants.admit(customer, rate.rate())?;
         let result = self.plan_protected_pair(from, to, rate);
         let (working, protect) = match result {
@@ -101,13 +107,7 @@ impl Controller {
             self.spans.attr_u64(root, "protected", 1);
             self.emit_setup_spans(root, t0, &sample);
         }
-        self.sched.schedule_after(
-            dur,
-            Event::WorkflowDone {
-                conn: id,
-                kind: WorkflowKind::Setup,
-            },
-        );
+        self.schedule_workflow(dur, id, WorkflowKind::Setup);
         Ok(id)
     }
 
@@ -230,13 +230,7 @@ impl Controller {
             if standby_up {
                 self.trace
                     .emit(now, "prot", format!("{id} active leg hit — APS switchover"));
-                self.sched.schedule_after(
-                    timing.switchover,
-                    Event::WorkflowDone {
-                        conn: id,
-                        kind: WorkflowKind::ProtectionSwitch,
-                    },
-                );
+                self.schedule_workflow(timing.switchover, id, WorkflowKind::ProtectionSwitch);
             } else {
                 self.trace.emit(
                     now,
@@ -336,13 +330,7 @@ impl Controller {
             c.outage_start(now);
             self.trace
                 .emit(now, "prot", format!("{id} active-leg OT died — APS"));
-            self.sched.schedule_after(
-                timing.switchover,
-                Event::WorkflowDone {
-                    conn: id,
-                    kind: WorkflowKind::ProtectionSwitch,
-                },
-            );
+            self.schedule_workflow(timing.switchover, id, WorkflowKind::ProtectionSwitch);
         } else {
             self.metrics.counter("protection.degraded").incr();
             self.trace

@@ -65,6 +65,10 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Restoration priority assigned when none is given (lower = restored
+/// first).
+pub const DEFAULT_PRIORITY: u8 = 100;
+
 /// The tenant table.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TenantRegistry {
@@ -80,7 +84,7 @@ impl TenantRegistry {
 
     /// Onboard a tenant with a quota at default priority.
     pub fn register(&mut self, name: impl Into<String>, quota: DataRate) -> CustomerId {
-        self.register_with_priority(name, quota, 100)
+        self.register_with_priority(name, quota, DEFAULT_PRIORITY)
     }
 
     /// Onboard a tenant with an explicit restoration priority

@@ -215,9 +215,118 @@ impl EmsLatencyModel {
     }
 }
 
+/// Tracks in-flight multi-step EMS workflows for crash recovery.
+///
+/// Every EMS workflow (connection setup, teardown, restoration,
+/// bridge-and-roll, trunk turn-up…) spans many vendor-EMS commands; a
+/// controller crash mid-workflow leaves the question of what happens to
+/// the half-issued command sequence. The ledger answers it: the
+/// controller `begin`s an entry when it schedules a workflow's
+/// completion and `complete`s it when the completion event fires, so at
+/// any instant the open set *is* the in-flight EMS work. On recovery,
+/// deterministic replay re-issues every open workflow from its logged
+/// intent (`mark_resumed`); intents lost to a torn log tail were never
+/// executed and are rolled back (`mark_rolled_back`).
+///
+/// Keys are `(entity raw id, workflow label)` with a count, so two
+/// concurrent workflows of the same kind on one entity (legal during
+/// races) are tracked exactly. Contents are a deterministic function of
+/// the event stream — safe to include in controller state digests.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowLedger {
+    open: std::collections::BTreeMap<(u32, &'static str), u32>,
+    begun: u64,
+    completed: u64,
+    resumed: u64,
+    rolled_back: u64,
+}
+
+impl WorkflowLedger {
+    /// A workflow on `entity` was scheduled against the EMS plane.
+    pub fn begin(&mut self, entity: u32, kind: &'static str) {
+        *self.open.entry((entity, kind)).or_insert(0) += 1;
+        self.begun += 1;
+    }
+
+    /// A workflow's completion event fired. Unknown completions (e.g. a
+    /// replayed event racing a pruned entry) are ignored rather than
+    /// underflowing.
+    pub fn complete(&mut self, entity: u32, kind: &'static str) {
+        if let Some(n) = self.open.get_mut(&(entity, kind)) {
+            *n -= 1;
+            if *n == 0 {
+                self.open.remove(&(entity, kind));
+            }
+            self.completed += 1;
+        }
+    }
+
+    /// Number of workflows currently in flight.
+    pub fn open_count(&self) -> u32 {
+        self.open.values().sum()
+    }
+
+    /// Total workflows ever begun / completed.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.begun, self.completed)
+    }
+
+    /// Recovery re-issued `n` in-flight workflows by replaying their
+    /// logged intents.
+    pub fn mark_resumed(&mut self, n: u64) {
+        self.resumed += n;
+    }
+
+    /// Recovery rolled back `n` intents lost to a torn log tail (never
+    /// executed, so no EMS state to undo).
+    pub fn mark_rolled_back(&mut self, n: u64) {
+        self.rolled_back += n;
+    }
+
+    /// `(resumed, rolled back)` recovery accounting.
+    pub fn recovery_totals(&self) -> (u64, u64) {
+        (self.resumed, self.rolled_back)
+    }
+
+    /// Canonical multi-line dump for state digests: open workflows in
+    /// key order plus lifetime counters.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "workflows begun={} completed={} open={}",
+            self.begun,
+            self.completed,
+            self.open_count()
+        );
+        for ((entity, kind), n) in &self.open {
+            let _ = writeln!(out, "  open {kind} entity={entity} x{n}");
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn workflow_ledger_tracks_open_and_totals() {
+        let mut l = WorkflowLedger::default();
+        l.begin(1, "conn.setup");
+        l.begin(1, "conn.setup");
+        l.begin(2, "conn.teardown");
+        assert_eq!(l.open_count(), 3);
+        l.complete(1, "conn.setup");
+        assert_eq!(l.open_count(), 2);
+        // Unknown completion is ignored, not an underflow.
+        l.complete(9, "conn.setup");
+        assert_eq!(l.totals(), (3, 1));
+        let dump = l.dump();
+        assert!(dump.contains("conn.setup entity=1 x1"), "{dump}");
+        assert!(dump.contains("conn.teardown entity=2 x1"), "{dump}");
+    }
 
     #[test]
     fn calibration_sums_to_table2_fixed_part() {

@@ -53,7 +53,7 @@ pub mod topology;
 pub mod transponder;
 
 pub use alarm::{Alarm, AlarmKind, AlarmSeverity};
-pub use ems::{EmsCommand, EmsLatencyModel, EmsProfile};
+pub use ems::{EmsCommand, EmsLatencyModel, EmsProfile, WorkflowLedger};
 pub use fiber::{FiberId, FiberLink, FiberState, Span};
 pub use fxc::{Fxc, FxcId, FxcPort};
 pub use grid::{ChannelGrid, LineRate, Wavelength};

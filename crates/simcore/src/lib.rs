@@ -27,6 +27,10 @@
 //! - [`span`] — hierarchical, sim-time-stamped spans for per-phase latency
 //!   attribution, with a Chrome trace-event exporter and a rollup
 //!   aggregator (the observability substrate; see `DESIGN.md` §9).
+//! - [`codec`] — a deterministic, checksummed binary codec (fixed-width
+//!   little-endian fields + CRC-32C frames) used by the durability
+//!   subsystem's write-ahead log; distinguishes torn tail writes from
+//!   corruption.
 //! - [`units`] — [`DataRate`] / [`DataSize`] newtypes shared by all layers.
 //! - [`ids`] — the [`define_id!`] macro for typed entity identifiers.
 //!
@@ -50,6 +54,7 @@
 
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod ids;
 pub mod metrics;
 pub mod queue;
@@ -59,6 +64,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use codec::{crc32c, CodecError, Decoder, Encoder};
 pub use metrics::{
     Counter, CounterSample, FamilyRegistry, Gauge, GaugeSample, Histogram, HistogramSample,
     LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,

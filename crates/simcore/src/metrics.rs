@@ -377,7 +377,7 @@ impl LatencyRecorder {
 }
 
 /// A named collection of metrics for one experiment run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
@@ -565,7 +565,7 @@ pub struct MetricsSnapshot {
 ///
 /// [`expose`]: FamilyRegistry::expose
 /// [`snapshot`]: FamilyRegistry::snapshot
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FamilyRegistry {
     counters: BTreeMap<String, BTreeMap<LabelSet, Counter>>,
     gauges: BTreeMap<String, BTreeMap<LabelSet, Gauge>>,

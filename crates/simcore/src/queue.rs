@@ -27,6 +27,7 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
 
+#[derive(Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -77,6 +78,19 @@ pub struct Scheduler<E> {
 impl<E> Default for Scheduler<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E: Clone> Clone for Scheduler<E> {
+    fn clone(&self) -> Self {
+        Scheduler {
+            heap: self.heap.clone(),
+            cancelled: self.cancelled.clone(),
+            live: self.live.clone(),
+            now: self.now,
+            next_seq: self.next_seq,
+            popped: self.popped,
+        }
     }
 }
 
@@ -206,6 +220,23 @@ impl<E> Scheduler<E> {
                 break;
             }
         }
+    }
+
+    /// Snapshot of the live (non-cancelled) pending entries in
+    /// deterministic `(time, seq)` delivery order.
+    ///
+    /// Used by state digests: two schedulers that would deliver the same
+    /// events in the same order at the same times — regardless of heap
+    /// internals or tombstone residue — produce identical listings.
+    pub fn pending_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|e| self.live.contains(&e.seq))
+            .map(|e| (e.at, e.seq, &e.event))
+            .collect();
+        out.sort_by_key(|(at, seq, _)| (*at, *seq));
+        out
     }
 
     /// Release excess capacity held by the internal collections.
@@ -343,6 +374,38 @@ mod tests {
         while s.pop().is_some() {}
         s.compact();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pending_entries_sorted_and_skips_cancelled() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), "c");
+        let b = s.schedule_at(SimTime::from_secs(2), "b");
+        s.schedule_at(SimTime::from_secs(1), "a");
+        s.cancel(b);
+        let listed: Vec<(SimTime, &str)> = s
+            .pending_entries()
+            .into_iter()
+            .map(|(at, _, e)| (at, *e))
+            .collect();
+        assert_eq!(
+            listed,
+            vec![(SimTime::from_secs(1), "a"), (SimTime::from_secs(3), "c")]
+        );
+    }
+
+    #[test]
+    fn clone_preserves_delivery_order_and_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), "a");
+        let b = s.schedule_at(SimTime::from_secs(2), "b");
+        s.schedule_at(SimTime::from_secs(2), "c");
+        s.cancel(b);
+        let mut t = s.clone();
+        let from_s: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        let from_t: Vec<&str> = std::iter::from_fn(|| t.pop().map(|(_, e)| e)).collect();
+        assert_eq!(from_s, from_t);
+        assert_eq!(s.now(), t.now());
     }
 
     /// Bookkeeping must stay O(pending) over an arbitrarily long run: a

@@ -51,6 +51,20 @@ impl SimRng {
         }
     }
 
+    /// The raw 256-bit generator state plus the cached Box–Muller spare
+    /// (as bits; `u64::MAX` when empty). Two generators with equal state
+    /// words produce identical streams forever — used by controller
+    /// state digests to prove recovered replicas bit-exact.
+    pub fn state_words(&self) -> [u64; 5] {
+        [
+            self.s[0],
+            self.s[1],
+            self.s[2],
+            self.s[3],
+            self.gauss_spare.map_or(u64::MAX, f64::to_bits),
+        ]
+    }
+
     /// Derive an independent child generator (for giving each workload
     /// source its own stream while keeping one top-level seed).
     pub fn fork(&mut self, stream: u64) -> SimRng {

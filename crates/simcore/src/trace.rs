@@ -27,7 +27,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// Bounded in-memory trace log.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceLog {
     events: VecDeque<TraceEvent>,
     capacity: usize,

@@ -15,7 +15,7 @@ fn run_scenario_with_cache(seed: u64, use_route_cache: bool) -> (Vec<f64>, u64, 
 }
 
 fn run_scenario_opts(seed: u64, use_route_cache: bool, spans: bool) -> (Vec<f64>, u64, String) {
-    run_scenario_full(seed, use_route_cache, spans, false)
+    run_scenario_full(seed, use_route_cache, spans, false, false)
 }
 
 fn run_scenario_full(
@@ -23,6 +23,7 @@ fn run_scenario_full(
     use_route_cache: bool,
     spans: bool,
     noc: bool,
+    wal: bool,
 ) -> (Vec<f64>, u64, String) {
     let (net, ids) = PhotonicNetwork::testbed(8);
     let mut ctl = Controller::new(
@@ -39,6 +40,9 @@ fn run_scenario_full(
     ctl.spans.set_enabled(spans);
     if noc {
         ctl.noc.enable(SimDuration::from_secs(30));
+    }
+    if wal {
+        ctl.enable_journal(griphon::WalConfig::default());
     }
     let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
     let mut conns = Vec::new();
@@ -116,11 +120,49 @@ fn span_recording_does_not_change_outcomes() {
 /// still actually observing the run.
 #[test]
 fn noc_observation_does_not_change_outcomes() {
-    let (o_off, e_off, t_off) = run_scenario_full(555, true, false, false);
-    let (o_on, e_on, t_on) = run_scenario_full(555, true, false, true);
+    let (o_off, e_off, t_off) = run_scenario_full(555, true, false, false, false);
+    let (o_on, e_on, t_on) = run_scenario_full(555, true, false, true, false);
     assert_eq!(o_on, o_off, "outages must not depend on the NOC");
     assert_eq!(e_on, e_off, "event count must not depend on the NOC");
     assert_eq!(t_on, t_off, "trace must match byte for byte");
+}
+
+/// The write-ahead log is pure observation: journaling every northbound
+/// intent must not change a single event, outage, or trace byte.
+#[test]
+fn wal_journaling_does_not_change_outcomes() {
+    let (o_off, e_off, t_off) = run_scenario_full(606, true, false, false, false);
+    let (o_on, e_on, t_on) = run_scenario_full(606, true, false, false, true);
+    assert_eq!(o_on, o_off, "outages must not depend on the journal");
+    assert_eq!(e_on, e_off, "event count must not depend on the journal");
+    assert_eq!(t_on, t_off, "trace must match byte for byte");
+}
+
+/// Same contract at the scenario-runner level: the full replayed report
+/// and the canonical state digest are byte-identical with the WAL on or
+/// off, and the WAL-on run actually journaled the intent stream.
+#[test]
+fn scenario_report_is_identical_wal_on_or_off() {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/testbed_outage.json"
+    ))
+    .expect("read scenario");
+    let spec_off: griphon_bench::scenario::ScenarioSpec = serde_json::from_str(&json).unwrap();
+    let mut spec_on = spec_off.clone();
+    spec_on.wal = true;
+    let (out_off, ctl_off) = griphon_bench::scenario::run_with(&spec_off).unwrap();
+    let (out_on, ctl_on) = griphon_bench::scenario::run_with(&spec_on).unwrap();
+    assert_eq!(out_on, out_off, "report must match byte for byte");
+    assert_eq!(ctl_on.events_processed(), ctl_off.events_processed());
+    assert_eq!(
+        ctl_on.state_digest(),
+        ctl_off.state_digest(),
+        "state digest must match byte for byte"
+    );
+    assert!(ctl_off.journal().is_none(), "WAL-off run must not journal");
+    let wal = ctl_on.journal().expect("WAL-on run journals");
+    assert!(wal.records() > 0, "the intent stream must have been logged");
 }
 
 /// Same contract at the scenario-runner level: the full replayed report

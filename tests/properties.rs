@@ -354,6 +354,92 @@ proptest! {
         }
     }
 
+    /// Reserve → cancel → re-reserve churn against an exact shadow
+    /// model: cancellation frees booked capacity exactly once (a second
+    /// cancel is refused and releases nothing), admission decisions
+    /// match the model at every step, and after cancelling everything
+    /// the full pair capacity is reusable — no leak, no double release.
+    #[test]
+    fn calendar_cancel_frees_capacity_exactly_once(
+        // (kind+start packed: kind = code % 4, start_h = code / 4 —
+        // the vendored proptest implements Strategy for ≤4-tuples).
+        ops in prop::collection::vec((0u64..192, 1u64..24, 1u64..30, 0usize..32), 1..60)
+    ) {
+        use griphon::controller::{Controller, ControllerConfig};
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let mut ctl = Controller::new(net, ControllerConfig::default());
+        let csp = ctl.tenants.register("t", DataRate::from_gbps(100_000));
+        ctl.set_booking_capacity(ids.i, ids.iv, DataRate::from_gbps(40));
+        // Shadow model: (start_h, end_h, gbps, still_booked).
+        let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
+        let mut booked_ids: Vec<griphon::ReservationId> = Vec::new();
+        for (code, len_h, gbps, pick) in ops {
+            let (kind, start_h) = (code % 4, code / 4);
+            if kind == 0 && !model.is_empty() {
+                // Cancel a random booking — possibly one already
+                // cancelled (double-cancel must be a refused no-op).
+                let i = pick % model.len();
+                let expect = model[i].3;
+                prop_assert_eq!(
+                    ctl.cancel_reservation(booked_ids[i]),
+                    expect,
+                    "cancel must succeed iff the booking is still live"
+                );
+                model[i].3 = false;
+            } else {
+                let start_h = start_h + 1;
+                let end_h = start_h + len_h;
+                // Mirror the admission rule: committed = sum of live
+                // bookings overlapping the window.
+                let committed: u64 = model
+                    .iter()
+                    .filter(|(s, e, _, live)| *live && *s < end_h && start_h < *e)
+                    .map(|(_, _, g, _)| *g)
+                    .sum();
+                let expect_ok = gbps <= 40u64.saturating_sub(committed);
+                let got = ctl.reserve_bandwidth(
+                    csp,
+                    ids.i,
+                    ids.iv,
+                    DataRate::from_gbps(gbps),
+                    SimTime::from_secs(start_h * 3600),
+                    SimTime::from_secs(end_h * 3600),
+                );
+                prop_assert_eq!(
+                    got.is_ok(),
+                    expect_ok,
+                    "admission diverged from the shadow model"
+                );
+                if let Ok(id) = got {
+                    model.push((start_h, end_h, gbps, true));
+                    booked_ids.push(id);
+                }
+            }
+        }
+        // Drain: every live booking cancels exactly once...
+        for (i, m) in model.iter_mut().enumerate() {
+            if m.3 {
+                prop_assert!(ctl.cancel_reservation(booked_ids[i]));
+                m.3 = false;
+            }
+        }
+        // ...a second cancel releases nothing...
+        for id in &booked_ids {
+            prop_assert!(!ctl.cancel_reservation(*id));
+        }
+        // ...and the full capacity is reusable anywhere.
+        prop_assert!(ctl
+            .reserve_bandwidth(
+                csp,
+                ids.i,
+                ids.iv,
+                DataRate::from_gbps(40),
+                SimTime::from_secs(3600),
+                SimTime::from_secs(7200),
+            )
+            .is_ok());
+    }
+
     /// Bitmask first-fit equals the reference wavelength scan on random
     /// ring-plus-chords topologies under arbitrary claim/release churn.
     #[test]
