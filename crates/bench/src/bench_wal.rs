@@ -1,0 +1,536 @@
+//! `repro bench-wal` — durability fast-path micro-benchmarks
+//! (DESIGN.md §12).
+//!
+//! Measures every stage of the WAL pipeline this repo optimized —
+//! checksum, encode+frame+append, state digest, segment replay — each
+//! against the slow oracle it must stay byte-identical to:
+//!
+//! * **CRC-32C**: slice-by-32 table kernel vs the byte-at-a-time
+//!   reference loop (`simcore::crc32c_reference`), GiB/s over a large
+//!   buffer. The target asserts ≥ 5× in release builds.
+//! * **WAL append**: the zero-copy scratch-encoder path and the
+//!   group-commit batch path vs `Wal::append_reference` (fresh encoder,
+//!   intermediate framed `Vec`, reference CRC — the pre-optimization
+//!   code), records/s and MiB/s. All three produce **byte-identical
+//!   segments** (asserted here and property-tested in
+//!   `durability::wal`); the target asserts ≥ 2× in release builds.
+//! * **State digest**: the streaming `state_digest_crc` (a `CrcWriter`
+//!   sink, no string) vs materializing the full digest string and
+//!   hashing it — equal CRCs asserted.
+//! * **Segment replay**: `Wal::decode_parallel` vs sequential
+//!   `Wal::decode` across segment counts — identical records asserted
+//!   at every point — plus one end-to-end `recover()` of a scenario log.
+//!
+//! Unlike `BENCH_ha.json` (pure sim time, golden-filed), this report
+//! contains host wall-clock throughputs and is **not** golden-filed;
+//! the byte-identity assertions are the stable part. Thread count
+//! honors `REPRO_THREADS` (see [`crate::experiments::repro_threads`]).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use simcore::SimTime;
+
+use griphon::durability::{decode_threads, Intent, Wal, WalConfig};
+use griphon::{recover, SnapshotStore};
+
+use crate::noc_target::TESTBED_OUTAGE;
+use crate::scenario;
+
+/// CRC benchmark buffer size.
+const CRC_BYTES: usize = 16 * 1024 * 1024;
+/// CRC benchmark passes per implementation.
+const CRC_PASSES: usize = 4;
+/// Records per append-path benchmark run.
+const APPEND_RECORDS: usize = 20_000;
+/// Append benchmark passes per path (best pass wins).
+const APPEND_PASSES: usize = 4;
+/// Iterations of each digest implementation.
+const DIGEST_ITERS: usize = 20;
+/// Replay sweep: approximate segment counts (driven by record count at a
+/// fixed 4 KiB segment size).
+const REPLAY_RECORDS: &[usize] = &[500, 4_000, 16_000];
+
+/// CRC-32C throughput block.
+#[derive(Serialize)]
+pub struct CrcBench {
+    /// Bytes hashed per pass.
+    pub bytes: usize,
+    /// Byte-at-a-time reference loop, GiB/s.
+    pub reference_gib_s: f64,
+    /// Slice-by-32 kernel, GiB/s.
+    pub slice32_gib_s: f64,
+    /// `slice32 / reference`.
+    pub speedup: f64,
+    /// Both implementations agreed on the checksum.
+    pub checksums_identical: bool,
+}
+
+/// WAL append-path throughput block.
+#[derive(Serialize)]
+pub struct AppendBench {
+    /// Records appended per run.
+    pub records: usize,
+    /// Log bytes produced.
+    pub bytes: usize,
+    /// Segments produced.
+    pub segments: usize,
+    /// Pre-PR path (fresh encoder + intermediate `Vec` + reference CRC),
+    /// records/s.
+    pub reference_rec_s: f64,
+    /// Zero-copy scratch-encoder path, records/s.
+    pub zero_copy_rec_s: f64,
+    /// Group-commit batch path, records/s.
+    pub batch_rec_s: f64,
+    /// Pre-PR path, MiB/s of log produced.
+    pub reference_mib_s: f64,
+    /// Zero-copy path, MiB/s.
+    pub zero_copy_mib_s: f64,
+    /// Batch path, MiB/s.
+    pub batch_mib_s: f64,
+    /// `zero_copy / reference` records/s.
+    pub speedup_zero_copy: f64,
+    /// `batch / reference` records/s.
+    pub speedup_batch: f64,
+    /// All three paths produced byte-identical segments.
+    pub bytes_identical: bool,
+}
+
+/// State-digest latency block.
+#[derive(Serialize)]
+pub struct DigestBench {
+    /// Digest string length for the benchmarked controller.
+    pub digest_bytes: usize,
+    /// Materialize-the-string-then-hash, microseconds per digest.
+    pub string_us: f64,
+    /// Streaming `state_digest_crc`, microseconds per digest.
+    pub streaming_us: f64,
+    /// `string / streaming`.
+    pub speedup: f64,
+    /// Streaming CRC equals the hash of the string rendering.
+    pub crc_identical: bool,
+}
+
+/// One replay sweep point.
+#[derive(Serialize)]
+pub struct ReplayPoint {
+    /// Segments in the log.
+    pub segments: usize,
+    /// Records in the log.
+    pub records: usize,
+    /// Log bytes.
+    pub bytes: usize,
+    /// Sequential `Wal::decode`, microseconds.
+    pub sequential_us: f64,
+    /// `Wal::decode_parallel`, microseconds.
+    pub parallel_us: f64,
+    /// `sequential / parallel`.
+    pub speedup: f64,
+    /// Parallel decode returned exactly the sequential records.
+    pub identical: bool,
+}
+
+/// End-to-end recovery of a real scenario log.
+#[derive(Serialize)]
+pub struct RecoverBench {
+    /// Records in the scenario's WAL.
+    pub records: u64,
+    /// Segments in the scenario's WAL.
+    pub segments: usize,
+    /// Full `recover()` (parallel decode + sequential replay), ms.
+    pub recover_ms: f64,
+    /// Recovered digest equals the lost primary's.
+    pub digest_identical: bool,
+}
+
+/// The machine-readable report written to `BENCH_wal.json`.
+#[derive(Serialize)]
+pub struct WalReport {
+    /// Report name, fixed to `wal`.
+    pub benchmark: String,
+    /// Worker threads used for parallel decode (`REPRO_THREADS` aware).
+    pub threads: usize,
+    /// CRC-32C kernel comparison.
+    pub crc: CrcBench,
+    /// Append-path comparison.
+    pub append: AppendBench,
+    /// Digest-path comparison.
+    pub digest: DigestBench,
+    /// Replay sweep over segment counts.
+    pub replay: Vec<ReplayPoint>,
+    /// End-to-end scenario recovery.
+    pub recover: RecoverBench,
+}
+
+/// A deterministic pseudo-random byte buffer (SplitMix64 stream).
+fn noise(len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    while out.len() < len {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn crc_bench() -> CrcBench {
+    let buf = noise(CRC_BYTES);
+    // Warm both table sets and the page cache before timing.
+    let want = simcore::crc32c(&buf);
+    let got_ref = simcore::crc32c_reference(&buf);
+
+    // Interleaved best-of-N: each pass times both kernels back to back,
+    // and the fastest pass wins — minimum-of-passes is robust against
+    // scheduler noise, which a single long aggregate run is not.
+    let mut acc = 0u32;
+    let mut ref_s = f64::INFINITY;
+    let mut fast_s = f64::INFINITY;
+    for _ in 0..CRC_PASSES {
+        let t0 = Instant::now();
+        acc ^= simcore::crc32c_reference(&buf);
+        ref_s = ref_s.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        acc ^= simcore::crc32c(&buf);
+        fast_s = fast_s.min(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(acc);
+
+    let gib = CRC_BYTES as f64 / (1024.0 * 1024.0 * 1024.0);
+    CrcBench {
+        bytes: CRC_BYTES,
+        reference_gib_s: gib / ref_s,
+        slice32_gib_s: gib / fast_s,
+        speedup: ref_s / fast_s,
+        checksums_identical: want == got_ref,
+    }
+}
+
+/// A deterministic mixed-intent workload for the append benchmarks.
+fn workload(n: usize) -> Vec<(SimTime, Intent)> {
+    (0..n)
+        .map(|i| {
+            let at = SimTime::from_nanos(i as u64 * 1_000_000);
+            let intent = match i % 5 {
+                0 => Intent::Wavelength {
+                    customer: (i % 7) as u32,
+                    from: (i % 4) as u32,
+                    to: ((i + 1) % 4) as u32,
+                    rate: 0,
+                },
+                1 => Intent::Bandwidth {
+                    customer: (i % 7) as u32,
+                    from: (i % 4) as u32,
+                    to: ((i + 2) % 4) as u32,
+                    target_bps: 12_000_000_000 + i as u64,
+                },
+                2 => Intent::Teardown { conn: i as u32 },
+                3 => Intent::Reserve {
+                    customer: (i % 7) as u32,
+                    from: (i % 4) as u32,
+                    to: ((i + 3) % 4) as u32,
+                    rate_bps: 10_000_000_000,
+                    start_ns: i as u64 * 1_000,
+                    end_ns: i as u64 * 2_000,
+                },
+                _ => Intent::RegisterTenant {
+                    name: format!("tenant-{i}"),
+                    quota_bps: 100_000_000_000,
+                    priority: (i % 250) as u8,
+                },
+            };
+            (at, intent)
+        })
+        .collect()
+}
+
+fn append_bench() -> AppendBench {
+    let work = workload(APPEND_RECORDS);
+    let cfg = WalConfig::default();
+
+    // Interleaved best-of-N, like `crc_bench`: each pass rebuilds each
+    // log from scratch and the fastest pass wins, so one scheduler
+    // hiccup can't sink a path's measured throughput.
+    let mut ref_s = f64::INFINITY;
+    let mut fast_s = f64::INFINITY;
+    let mut batch_s = f64::INFINITY;
+    let mut slow = Wal::new(cfg);
+    let mut fast = Wal::new(cfg);
+    let mut batched = Wal::new(cfg);
+    let mut commit_records = 0u64;
+    for _ in 0..APPEND_PASSES {
+        let t0 = Instant::now();
+        slow = Wal::new(cfg);
+        for (at, intent) in &work {
+            slow.append_reference(*at, intent);
+        }
+        ref_s = ref_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        fast = Wal::new(cfg);
+        for (at, intent) in &work {
+            fast.append(*at, intent);
+        }
+        fast_s = fast_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        batched = Wal::new(cfg);
+        batched.begin_batch();
+        for (at, intent) in &work {
+            batched.append(*at, intent);
+        }
+        let commit = batched.commit_batch().expect("batch commits");
+        batch_s = batch_s.min(t0.elapsed().as_secs_f64());
+        commit_records = commit.records;
+    }
+
+    let bytes_identical =
+        fast.segments() == slow.segments() && batched.segments() == slow.segments();
+    assert!(
+        bytes_identical,
+        "fast paths diverged from the reference append bytes"
+    );
+    assert_eq!(commit_records, APPEND_RECORDS as u64);
+
+    let bytes = slow.total_bytes();
+    let mib = bytes as f64 / (1024.0 * 1024.0);
+    let n = APPEND_RECORDS as f64;
+    AppendBench {
+        records: APPEND_RECORDS,
+        bytes,
+        segments: slow.segments().len(),
+        reference_rec_s: n / ref_s,
+        zero_copy_rec_s: n / fast_s,
+        batch_rec_s: n / batch_s,
+        reference_mib_s: mib / ref_s,
+        zero_copy_mib_s: mib / fast_s,
+        batch_mib_s: mib / batch_s,
+        speedup_zero_copy: ref_s / fast_s,
+        speedup_batch: ref_s / batch_s,
+        bytes_identical,
+    }
+}
+
+fn digest_bench() -> DigestBench {
+    // A controller with real content: the testbed outage scenario.
+    let spec: scenario::ScenarioSpec =
+        serde_json::from_str(TESTBED_OUTAGE).expect("testbed scenario parses");
+    let (_, ctl) = scenario::run_with(&spec).expect("scenario runs");
+
+    let digest = ctl.state_digest();
+    let want = simcore::crc32c(digest.as_bytes());
+    let got = ctl.state_digest_crc();
+    assert_eq!(got, want, "streaming digest CRC diverged from the string");
+
+    let t0 = Instant::now();
+    let mut acc = 0u32;
+    for _ in 0..DIGEST_ITERS {
+        acc ^= simcore::crc32c(ctl.state_digest().as_bytes());
+    }
+    let string_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for _ in 0..DIGEST_ITERS {
+        acc ^= ctl.state_digest_crc();
+    }
+    let stream_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    DigestBench {
+        digest_bytes: digest.len(),
+        string_us: string_s / DIGEST_ITERS as f64 * 1e6,
+        streaming_us: stream_s / DIGEST_ITERS as f64 * 1e6,
+        speedup: string_s / stream_s,
+        crc_identical: got == want,
+    }
+}
+
+fn replay_sweep(threads: usize) -> Vec<ReplayPoint> {
+    REPLAY_RECORDS
+        .iter()
+        .map(|&n| {
+            // 4 KiB segments so even the small point spans several.
+            let mut wal = Wal::new(WalConfig {
+                segment_bytes: 4 * 1024,
+            });
+            for (at, intent) in workload(n) {
+                wal.append(at, &intent);
+            }
+            let segs = wal.segments();
+
+            let t0 = Instant::now();
+            let seq = Wal::decode(segs).expect("log decodes");
+            let seq_s = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let par = Wal::decode_parallel(segs, threads).expect("log decodes");
+            let par_s = t0.elapsed().as_secs_f64();
+
+            let identical = seq == par;
+            assert!(identical, "parallel decode diverged at {n} records");
+            ReplayPoint {
+                segments: segs.len(),
+                records: n,
+                bytes: wal.total_bytes(),
+                sequential_us: seq_s * 1e6,
+                parallel_us: par_s * 1e6,
+                speedup: seq_s / par_s,
+                identical,
+            }
+        })
+        .collect()
+}
+
+fn recover_bench() -> RecoverBench {
+    let spec: scenario::ScenarioSpec =
+        serde_json::from_str(TESTBED_OUTAGE).expect("testbed scenario parses");
+    let mut primary = scenario::genesis(&spec);
+    primary.enable_journal(WalConfig::default());
+    scenario::drive(&spec, &mut primary, &mut |_| {}).expect("scenario runs");
+    let want = primary.state_digest();
+    let target = primary.now();
+    let journal = primary.take_journal().expect("journal on");
+
+    let t0 = Instant::now();
+    let outcome = recover(
+        || scenario::genesis(&spec),
+        journal.segments(),
+        &SnapshotStore::new(0),
+        target,
+        WalConfig::default(),
+    )
+    .expect("recovery succeeds");
+    let recover_s = t0.elapsed().as_secs_f64();
+
+    let digest_identical = outcome.controller.state_digest() == want;
+    assert!(digest_identical, "recovery diverged from the lost primary");
+    RecoverBench {
+        records: journal.records(),
+        segments: journal.segments().len(),
+        recover_ms: recover_s * 1e3,
+        digest_identical,
+    }
+}
+
+/// Run every block and assemble the report. Byte-identity is asserted
+/// unconditionally; the throughput floors (≥ 5× CRC, ≥ 2× append) are
+/// asserted only in release builds, where the acceptance criteria are
+/// defined — debug-build timings measure the compiler, not the code.
+pub fn build() -> WalReport {
+    let threads = decode_threads();
+    let crc = crc_bench();
+    let append = append_bench();
+    let digest = digest_bench();
+    let replay = replay_sweep(threads);
+    let recover = recover_bench();
+
+    assert!(crc.checksums_identical);
+    assert!(append.bytes_identical);
+    assert!(digest.crc_identical);
+    assert!(replay.iter().all(|p| p.identical));
+    assert!(recover.digest_identical);
+    if !cfg!(debug_assertions) {
+        assert!(
+            crc.speedup >= 5.0,
+            "CRC slice-by-32 only {:.1}x over reference (need 5x)",
+            crc.speedup
+        );
+        assert!(
+            append.speedup_zero_copy >= 2.0,
+            "zero-copy append only {:.1}x over reference (need 2x)",
+            append.speedup_zero_copy
+        );
+    }
+
+    WalReport {
+        benchmark: "wal".to_string(),
+        threads,
+        crc,
+        append,
+        digest,
+        replay,
+        recover,
+    }
+}
+
+/// Render the human-readable summary (the lines CI greps).
+fn render(r: &WalReport) -> String {
+    let mut out = String::from("WAL fast paths — CRC, append, digest, replay (DESIGN.md §12)\n");
+    out.push_str(&format!(
+        "\ncrc32c: slice-by-32 {:.2} GiB/s vs reference {:.2} GiB/s — {:.1}x, checksums identical\n",
+        r.crc.slice32_gib_s, r.crc.reference_gib_s, r.crc.speedup
+    ));
+    out.push_str(&format!(
+        "append: zero-copy {:.0} rec/s ({:.1} MiB/s) vs reference {:.0} rec/s — {:.1}x; \
+         group commit {:.0} rec/s — {:.1}x; segments byte-identical\n",
+        r.append.zero_copy_rec_s,
+        r.append.zero_copy_mib_s,
+        r.append.reference_rec_s,
+        r.append.speedup_zero_copy,
+        r.append.batch_rec_s,
+        r.append.speedup_batch,
+    ));
+    out.push_str(&format!(
+        "digest: streaming {:.0} µs vs string+hash {:.0} µs over {} digest bytes — {:.2}x, crc identical\n",
+        r.digest.streaming_us, r.digest.string_us, r.digest.digest_bytes, r.digest.speedup
+    ));
+    out.push_str(&format!("replay ({} threads):\n", r.threads));
+    for p in &r.replay {
+        out.push_str(&format!(
+            "  {:>5} segs / {:>6} recs: parallel {:>9.0} µs vs sequential {:>9.0} µs — {:.2}x, records identical\n",
+            p.segments, p.records, p.parallel_us, p.sequential_us, p.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "recover: {} records / {} segment(s) in {:.1} ms, digest reconstructed byte-identically\n",
+        r.recover.records, r.recover.segments, r.recover.recover_ms
+    ));
+    out
+}
+
+/// Run the benchmarks, write `BENCH_wal.json`, and return the summary.
+pub fn emit(bench_path: &str) -> String {
+    let report = build();
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(bench_path, &json).expect("write BENCH_wal.json");
+    let mut out = render(&report);
+    out.push_str(&format!("\nwrote {bench_path}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_builds_and_identities_hold() {
+        let r = build();
+        assert!(r.crc.checksums_identical);
+        assert!(r.append.bytes_identical);
+        assert!(r.digest.crc_identical);
+        assert!(r.replay.iter().all(|p| p.identical));
+        assert!(r.recover.digest_identical);
+        assert!(r.replay.iter().all(|p| p.segments > 1));
+        // Shapes, not speeds: debug-build timings prove nothing.
+        assert!(r.append.records == APPEND_RECORDS);
+        assert!(r.threads >= 1);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("\"benchmark\": \"wal\""));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(workload(64), workload(64));
+        let mut a = Wal::new(WalConfig::default());
+        let mut b = Wal::new(WalConfig::default());
+        for (at, intent) in workload(64) {
+            a.append(at, &intent);
+            b.append_reference(at, &intent);
+        }
+        assert_eq!(a.segments(), b.segments());
+    }
+}

@@ -185,11 +185,12 @@ fn run_one(name: &'static str, json: &str) -> HaRun {
                 return;
             }
             store.maybe_snapshot(ctl);
-            let segments: Vec<Vec<u8>> = ctl
-                .journal()
-                .map(|w| w.segments().to_vec())
-                .unwrap_or_default();
-            let (records, _) = Wal::decode(&segments).expect("live log decodes");
+            // Decode straight off the live journal's segments — the
+            // shipping barrier copies no log bytes.
+            let records = match ctl.journal() {
+                Some(w) => Wal::decode(w.segments()).expect("live log decodes").0,
+                None => Vec::new(),
+            };
             standby.catch_up(&records).expect("standby catches up");
         })
         .unwrap_or_else(|e| panic!("{name}: scenario failed under WAL: {e}"))
@@ -205,11 +206,12 @@ fn run_one(name: &'static str, json: &str) -> HaRun {
         "{name}: journaling changed the controller state"
     );
 
-    let journal = primary.journal().expect("journal enabled");
-    let segments = journal.segments().to_vec();
+    // Take the journal whole — the run owns its segments, no copy.
+    let journal = primary.take_journal().expect("journal enabled");
     let log_bytes = journal.total_bytes();
-    let (records, report) = Wal::decode(&segments).expect("full log decodes");
+    let (records, report) = Wal::decode(journal.segments()).expect("full log decodes");
     assert_eq!(report.torn_bytes, 0, "{name}: flushed log cannot be torn");
+    let segments = journal.into_segments();
 
     HaRun {
         name,
@@ -262,18 +264,33 @@ fn crash_schedule(run: HaRun) -> ScenarioHa {
     } = run;
     let cfg = FailoverConfig::default();
     let empty = SnapshotStore::new(0);
-    let genesis = || scenario::genesis(&spec);
     let standby_applied = standby.applied();
 
-    let mut crashes = Vec::new();
-    let mut recovered_identical = 0u64;
-    let mut torn_tails = 0u64;
-    for cut in crash_offsets(log_bytes, CRASH_POINTS) {
-        let surviving: Vec<Vec<u8>> = truncate(&segments, cut);
-        let snap_path = recover(genesis, &surviving, &store, target, WalConfig::default())
-            .unwrap_or_else(|e| panic!("{name}: recovery at cut {cut} failed: {e}"));
-        let full_replay = recover(genesis, &surviving, &empty, target, WalConfig::default())
-            .unwrap_or_else(|e| panic!("{name}: full replay at cut {cut} failed: {e}"));
+    // Every crash point is an independent cell — its own truncated view
+    // of the (shared, read-only) log, its own pair of recoveries — so
+    // the schedule fans out across threads via `parallel_cells`. Output
+    // order is the input cut order, and every per-cut assertion still
+    // fires (a worker panic fails the run), so the report bytes are
+    // identical to the sequential loop's.
+    let cuts = crash_offsets(log_bytes, CRASH_POINTS);
+    let crashes: Vec<CrashSample> = crate::experiments::parallel_cells(cuts, |cut| {
+        let surviving = Wal::truncate_segments(&segments, cut);
+        let snap_path = recover(
+            || scenario::genesis(&spec),
+            &surviving,
+            &store,
+            target,
+            WalConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: recovery at cut {cut} failed: {e}"));
+        let full_replay = recover(
+            || scenario::genesis(&spec),
+            &surviving,
+            &empty,
+            target,
+            WalConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: full replay at cut {cut} failed: {e}"));
 
         // The durability contract: both paths reconstruct the same bytes.
         let digest = snap_path.controller.state_digest();
@@ -289,10 +306,6 @@ fn crash_schedule(run: HaRun) -> ScenarioHa {
             );
             assert!(!snap_path.rolled_back_tail);
         }
-        recovered_identical += 1;
-        if snap_path.rolled_back_tail {
-            torn_tails += 1;
-        }
 
         let survived = snap_path.snapshot_seq.unwrap_or(0) + snap_path.replayed;
         // Analytic failover latency had the standby taken over here.
@@ -304,7 +317,7 @@ fn crash_schedule(run: HaRun) -> ScenarioHa {
         };
         let detect = cfg.heartbeat;
         let replay_t = cfg.base_switchover + cfg.per_record_replay * tail;
-        crashes.push(CrashSample {
+        CrashSample {
             cut_bytes: cut,
             records_survived: survived,
             torn_bytes: snap_path.torn_bytes,
@@ -315,8 +328,10 @@ fn crash_schedule(run: HaRun) -> ScenarioHa {
             detect_ms: ms(detect),
             replay_ms: ms(replay_t),
             serving_ms: ms(detect + replay_t),
-        });
-    }
+        }
+    });
+    let recovered_identical = crashes.len() as u64;
+    let torn_tails = crashes.iter().filter(|c| c.rolled_back_tail).count() as u64;
 
     // The warm standby takes over at the clean crash: its promoted state
     // must equal cold recovery's (and therefore the primary's).
@@ -352,22 +367,6 @@ fn crash_schedule(run: HaRun) -> ScenarioHa {
         crashes,
         serving_ms_hist,
     }
-}
-
-/// `Wal::truncated_copy` over raw segments (the run no longer owns a
-/// live `Wal`).
-fn truncate(segments: &[Vec<u8>], bytes: usize) -> Vec<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut budget = bytes;
-    for seg in segments {
-        if budget == 0 {
-            break;
-        }
-        let take = seg.len().min(budget);
-        out.push(seg[..take].to_vec());
-        budget -= take;
-    }
-    out
 }
 
 /// Snapshot-cadence sweep over the testbed scenario's log: rebuild a

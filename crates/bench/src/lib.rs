@@ -10,6 +10,7 @@
 
 pub mod bench_cloud;
 pub mod bench_json;
+pub mod bench_wal;
 pub mod experiments;
 pub mod ha_target;
 pub mod noc_target;

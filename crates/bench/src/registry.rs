@@ -155,6 +155,11 @@ pub const TARGETS: &[Target] = &[
         about: "writes BENCH_ha.json (WAL, snapshots, crash-point failover)",
         run: ha,
     },
+    Target {
+        name: "bench-wal",
+        about: "writes BENCH_wal.json (CRC, WAL append, digest, replay speed)",
+        run: bench_wal,
+    },
 ];
 
 fn fig1() -> String {
@@ -183,6 +188,10 @@ fn noc() -> String {
 
 fn ha() -> String {
     crate::ha_target::emit("BENCH_ha.json")
+}
+
+fn bench_wal() -> String {
+    crate::bench_wal::emit("BENCH_wal.json")
 }
 
 /// Look up a target by name.

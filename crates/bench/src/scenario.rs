@@ -312,25 +312,43 @@ pub fn drive(
             .ok_or_else(|| ScenarioError::NotAdjacent(a.to_string(), b.to_string()))
     };
 
-    let tenants: Vec<CustomerId> = spec
-        .tenants
-        .iter()
-        // The journaled entry point, so tenant onboarding replays from
-        // the intent log like every other northbound call.
-        .map(|t| ctl.register_tenant(&t.name, DataRate::from_gbps(t.quota_gbps)))
-        .collect();
-    for name in &spec.otn_switches {
-        let n = node(ctl, name)?;
-        ctl.add_otn_switch(n, DataRate::from_gbps(320));
+    // The whole setup phase — tenant onboarding, switch installs, trunk
+    // provisioning — is one admission burst, group-committed to the WAL
+    // as a single batch (one flush, one batch CRC; the segment bytes are
+    // identical to per-call appends, so every golden digest holds).
+    enum Setup {
+        Tenants(Vec<CustomerId>),
+        Abort(String),
     }
-    for (a, b) in &spec.trunks {
-        let na = node(ctl, a)?;
-        let nb = node(ctl, b)?;
-        // Trunk planning failures surface in the report, not as panics.
-        if let Err(e) = ctl.provision_trunk(na, nb, LineRate::Gbps10) {
-            return Ok(format!("scenario aborted: trunk {a}–{b}: {e}\n"));
+    let (setup, _commit) = ctl.journal_batch(|ctl| -> Result<Setup, ScenarioError> {
+        let tenants: Vec<CustomerId> = spec
+            .tenants
+            .iter()
+            // The journaled entry point, so tenant onboarding replays
+            // from the intent log like every other northbound call.
+            .map(|t| ctl.register_tenant(&t.name, DataRate::from_gbps(t.quota_gbps)))
+            .collect();
+        for name in &spec.otn_switches {
+            let n = node(ctl, name)?;
+            ctl.add_otn_switch(n, DataRate::from_gbps(320));
         }
-    }
+        for (a, b) in &spec.trunks {
+            let na = node(ctl, a)?;
+            let nb = node(ctl, b)?;
+            // Trunk planning failures surface in the report, not as
+            // panics.
+            if let Err(e) = ctl.provision_trunk(na, nb, LineRate::Gbps10) {
+                return Ok(Setup::Abort(format!(
+                    "scenario aborted: trunk {a}–{b}: {e}\n"
+                )));
+            }
+        }
+        Ok(Setup::Tenants(tenants))
+    });
+    let tenants = match setup? {
+        Setup::Tenants(t) => t,
+        Setup::Abort(text) => return Ok(text),
+    };
     ctl.run_until_idle();
     barrier(ctl);
 

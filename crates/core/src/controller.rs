@@ -529,6 +529,27 @@ impl Controller {
         r
     }
 
+    /// Group commit: run `f` with the journal in batch mode, so every
+    /// intent it issues (an admission burst, a composite workflow's
+    /// setup phase) is accumulated and flushed as one contiguous framed
+    /// append covered by a single batch CRC. The flushed bytes are
+    /// **identical** to the one-record-per-append path — batching changes
+    /// when frames hit the segment, never what they are. Returns `f`'s
+    /// result and the commit receipt (`None` when journaling is off, the
+    /// batch was empty inside a nested call, or no records were issued —
+    /// an empty batch still yields a receipt with `records == 0`).
+    pub fn journal_batch<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> T,
+    ) -> (T, Option<crate::durability::BatchCommit>) {
+        if let Some(w) = self.journal.as_mut() {
+            w.begin_batch();
+        }
+        let r = f(self);
+        let commit = self.journal.as_mut().and_then(|w| w.commit_batch());
+        (r, commit)
+    }
+
     /// Register a tenant through the journaled northbound surface.
     /// Scenario code that builds genesis state before enabling the
     /// journal can keep using `tenants.register` directly.
@@ -1456,40 +1477,63 @@ impl Controller {
     /// wall-clock perf recorder, the path-engine cache, and the journal
     /// itself.
     pub fn state_digest(&self) -> String {
-        use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "now={}", self.sched.now().as_nanos());
-        let _ = writeln!(out, "events={}", self.sched.events_delivered());
-        let _ = writeln!(out, "next_conn={}", self.next_conn);
-        let _ = writeln!(out, "next_trunk={}", self.next_trunk);
-        let _ = writeln!(out, "rng={:?}", self.rng.state_words());
-        let _ = writeln!(out, "pending:");
+        self.write_state_digest(&mut out)
+            .expect("String never fails fmt::Write");
+        out
+    }
+
+    /// CRC-32C of [`Controller::state_digest`], computed by streaming the
+    /// digest straight through a [`simcore::CrcWriter`] — the hot path
+    /// snapshots and sync barriers use. Never materializes the (multi-
+    /// megabyte at scale) string; byte-for-byte equal to
+    /// `crc32c(state_digest().as_bytes())` by construction, asserted by
+    /// `streaming_digest_crc_matches_string`.
+    pub fn state_digest_crc(&self) -> u32 {
+        let mut w = simcore::CrcWriter::new();
+        self.write_state_digest(&mut w)
+            .expect("CrcWriter never fails fmt::Write");
+        w.finish()
+    }
+
+    /// Stream the canonical digest rendering into any [`std::fmt::Write`]
+    /// sink. [`Controller::state_digest`] (the golden/debug string) and
+    /// [`Controller::state_digest_crc`] (the streaming checksum) are both
+    /// thin wrappers over this single source of truth, so they cannot
+    /// drift apart.
+    pub fn write_state_digest<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
+        writeln!(out, "now={}", self.sched.now().as_nanos())?;
+        writeln!(out, "events={}", self.sched.events_delivered())?;
+        writeln!(out, "next_conn={}", self.next_conn)?;
+        writeln!(out, "next_trunk={}", self.next_trunk)?;
+        writeln!(out, "rng={:?}", self.rng.state_words())?;
+        writeln!(out, "pending:")?;
         for (at, seq, ev) in self.sched.pending_entries() {
-            let _ = writeln!(out, "  {} #{seq} {ev:?}", at.as_nanos());
+            writeln!(out, "  {} #{seq} {ev:?}", at.as_nanos())?;
         }
-        let _ = writeln!(out, "tenants={:?}", self.tenants);
-        let _ = writeln!(out, "conns={:?}", self.conns);
-        let _ = writeln!(out, "trunks={:?}", self.trunks);
-        let _ = writeln!(out, "switch_at={:?}", self.switch_at);
-        let _ = writeln!(out, "switches={:?}", self.switches);
-        let _ = writeln!(out, "reservations={:?}", self.reservations);
-        let _ = writeln!(out, "booking_caps={:?}", self.booking_caps);
-        let _ = writeln!(out, "down_fibers={:?}", self.down_fibers);
-        let _ = writeln!(out, "pending_maint={:?}", self.pending_maintenance);
-        let _ = writeln!(out, "restore_q={:?}", self.restoration_queue);
-        let _ = writeln!(out, "restore_inflight={}", self.restorations_in_flight);
-        let _ = writeln!(out, "fxc_at={:?}", self.fxc_at);
-        let _ = writeln!(out, "{}", self.workflows.dump());
-        let _ = writeln!(out, "metrics={:?}", self.metrics);
+        writeln!(out, "tenants={:?}", self.tenants)?;
+        writeln!(out, "conns={:?}", self.conns)?;
+        writeln!(out, "trunks={:?}", self.trunks)?;
+        writeln!(out, "switch_at={:?}", self.switch_at)?;
+        writeln!(out, "switches={:?}", self.switches)?;
+        writeln!(out, "reservations={:?}", self.reservations)?;
+        writeln!(out, "booking_caps={:?}", self.booking_caps)?;
+        writeln!(out, "down_fibers={:?}", self.down_fibers)?;
+        writeln!(out, "pending_maint={:?}", self.pending_maintenance)?;
+        writeln!(out, "restore_q={:?}", self.restoration_queue)?;
+        writeln!(out, "restore_inflight={}", self.restorations_in_flight)?;
+        writeln!(out, "fxc_at={:?}", self.fxc_at)?;
+        writeln!(out, "{}", self.workflows.dump())?;
+        writeln!(out, "metrics={:?}", self.metrics)?;
         let trace_dump = self.trace.dump();
-        let _ = writeln!(
+        writeln!(
             out,
             "trace lines={} crc={:#010x}",
             trace_dump.lines().count(),
             simcore::crc32c(trace_dump.as_bytes())
-        );
-        let _ = writeln!(out, "net={:?}", self.net);
-        out
+        )?;
+        writeln!(out, "net={:?}", self.net)?;
+        Ok(())
     }
 }
 

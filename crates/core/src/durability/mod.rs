@@ -32,4 +32,6 @@ pub mod wal;
 pub use recovery::{recover, RecoveryError, RecoveryOutcome};
 pub use snapshot::{Snapshot, SnapshotMeta, SnapshotStore, SNAPSHOT_VERSION};
 pub use standby::{FailoverConfig, FailoverReport, HaPair, StandbyController};
-pub use wal::{Intent, OpenReport, Wal, WalConfig, WalError, WalRecord};
+pub use wal::{
+    decode_threads, BatchCommit, Intent, OpenReport, Wal, WalConfig, WalError, WalRecord,
+};

@@ -95,14 +95,21 @@ pub struct RecoveryOutcome {
 /// `wal_cfg` configures the journal reinstalled on the recovered
 /// controller, which resumes appending exactly where the surviving log
 /// left off.
-pub fn recover(
+///
+/// Segment decode and CRC verification fan out across worker threads
+/// ([`Wal::decode_parallel`], thread count from
+/// [`crate::durability::wal::decode_threads`] / `REPRO_THREADS`); replay
+/// stays strictly sequential, so the reconstruction is bit-for-bit the
+/// same as the single-threaded path.
+pub fn recover<S: AsRef<[u8]> + Sync>(
     genesis: impl FnOnce() -> Controller,
-    segments: &[Vec<u8>],
+    segments: &[S],
     store: &SnapshotStore,
     target: SimTime,
     wal_cfg: WalConfig,
 ) -> Result<RecoveryOutcome, RecoveryError> {
-    let (records, report) = Wal::decode(segments)?;
+    let (records, report) =
+        Wal::decode_parallel(segments, crate::durability::wal::decode_threads())?;
     let snap = store.best_at_or_before(records.len() as u64);
     let (mut ctl, start_seq, snapshot_seq) = match snap {
         Some(s) => (s.state.fork(), s.meta.seq, Some(s.meta.seq)),

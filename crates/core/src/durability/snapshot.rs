@@ -12,7 +12,7 @@
 //! refused (the store was corrupted), and recovery falls back to an
 //! older snapshot or genesis.
 
-use simcore::codec::{crc32c, frame, read_frame, CodecError, Decoder, Encoder, Frame};
+use simcore::codec::{frame, read_frame, CodecError, Decoder, Encoder, Frame};
 use simcore::SimTime;
 
 use crate::controller::Controller;
@@ -87,21 +87,23 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Capture `ctl` as of WAL position `seq`.
+    /// Capture `ctl` as of WAL position `seq`. The state checksum is
+    /// streamed ([`Controller::state_digest_crc`]) — the digest string is
+    /// never materialized on the capture path.
     pub fn capture(ctl: &Controller, seq: u64) -> Snapshot {
         let state = ctl.fork();
         let meta = SnapshotMeta {
             version: SNAPSHOT_VERSION,
             seq,
             at: ctl.now(),
-            state_crc: crc32c(state.state_digest().as_bytes()),
+            state_crc: state.state_digest_crc(),
         };
         Snapshot { meta, state }
     }
 
     /// Does the stored state still hash to the recorded checksum?
     pub fn verify(&self) -> bool {
-        crc32c(self.state.state_digest().as_bytes()) == self.meta.state_crc
+        self.state.state_digest_crc() == self.meta.state_crc
     }
 }
 
@@ -201,6 +203,28 @@ mod tests {
         };
         let buf = meta.encode();
         assert!(SnapshotMeta::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn streaming_digest_crc_matches_string() {
+        let mut ctl = small_controller();
+        assert_eq!(
+            ctl.state_digest_crc(),
+            simcore::crc32c(ctl.state_digest().as_bytes())
+        );
+        // And again on a state with real content (pending events, conns).
+        let csp = ctl.register_tenant("acme", simcore::DataRate::from_gbps(100));
+        let _ = ctl.request_wavelength(
+            csp,
+            photonic::RoadmId::new(0),
+            photonic::RoadmId::new(1),
+            photonic::LineRate::Gbps10,
+        );
+        ctl.run_until(SimTime::from_secs(10));
+        assert_eq!(
+            ctl.state_digest_crc(),
+            simcore::crc32c(ctl.state_digest().as_bytes())
+        );
     }
 
     #[test]

@@ -185,12 +185,11 @@ impl HaPair {
     /// to the standby. Returns how many records the standby consumed.
     pub fn sync(&mut self) -> Result<u64, RecoveryError> {
         self.store.maybe_snapshot(&self.primary);
-        let segments = self
-            .primary
-            .journal()
-            .map(|w| w.segments().to_vec())
-            .unwrap_or_default();
-        let (records, _) = Wal::decode(&segments)?;
+        // Decode straight off the primary's segments — no byte copies.
+        let records = match self.primary.journal() {
+            Some(w) => Wal::decode(w.segments())?.0,
+            None => Vec::new(),
+        };
         self.standby.catch_up(&records)
     }
 
@@ -203,14 +202,24 @@ impl HaPair {
         cut: Option<usize>,
         target: SimTime,
     ) -> Result<(Controller, FailoverReport), RecoveryError> {
-        let journal = self.primary.journal().expect("primary journals");
-        let segments = match cut {
-            Some(bytes) => journal.truncated_copy(bytes),
-            None => journal.segments().to_vec(),
+        // Destructure so the borrowed segment views into `primary`'s
+        // journal can coexist with moving `genesis` and `standby` out.
+        let HaPair {
+            primary,
+            store,
+            standby,
+            genesis,
+            cfg,
+            wal_cfg,
+        } = self;
+        let journal = primary.journal().expect("primary journals");
+        let segments: Vec<&[u8]> = match cut {
+            Some(bytes) => journal.truncated_view(bytes),
+            None => journal.segments().iter().map(Vec::as_slice).collect(),
         };
         let (records, report) = Wal::decode(&segments)?;
 
-        let applied_before = self.standby.applied();
+        let applied_before = standby.applied();
         let rebuilt = applied_before > records.len() as u64;
         let tail_records = (records.len() as u64).saturating_sub(applied_before);
         let replay_cost = if rebuilt {
@@ -222,13 +231,13 @@ impl HaPair {
         let controller = if rebuilt {
             // The standby is ahead of the surviving log: rebuild from the
             // snapshot store instead (cold recovery path).
-            recover(self.genesis, &segments, &self.store, target, self.wal_cfg)?.controller
+            recover(genesis, &segments, &store, target, wal_cfg)?.controller
         } else {
-            self.standby.promote(&records, target, self.wal_cfg)?
+            standby.promote(&records, target, wal_cfg)?
         };
 
-        let detect = self.cfg.heartbeat;
-        let replay_t = self.cfg.base_switchover + self.cfg.per_record_replay * replay_cost;
+        let detect = cfg.heartbeat;
+        let replay_t = cfg.base_switchover + cfg.per_record_replay * replay_cost;
         let resumed = controller.workflows.open_count();
         Ok((
             controller,
@@ -318,7 +327,7 @@ mod tests {
             .primary
             .journal()
             .expect("journal on")
-            .truncated_copy(cut);
+            .truncated_view(cut);
 
         let cold = recover(
             genesis,
@@ -353,7 +362,7 @@ mod tests {
             .primary
             .journal()
             .expect("journal on")
-            .truncated_copy(cut);
+            .truncated_view(cut);
         let cold = recover(
             genesis,
             &segments,

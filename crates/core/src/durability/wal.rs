@@ -27,7 +27,7 @@
 //! is corruption — acknowledged data is gone, and recovery refuses to
 //! guess ([`WalError`]).
 
-use simcore::codec::{frame, read_frame, CodecError, Decoder, Encoder, Frame};
+use simcore::codec::{frame_into, read_frame, CodecError, Crc32c, Decoder, Encoder, Frame};
 use simcore::{DataRate, SimTime};
 
 use otn::ClientSignal;
@@ -628,12 +628,44 @@ pub struct OpenReport {
     pub segments: usize,
 }
 
+/// Summary of one committed group batch (see [`Wal::commit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCommit {
+    /// Sequence number of the batch's first record.
+    pub first_seq: u64,
+    /// Records flushed by this commit.
+    pub records: u64,
+    /// Framed bytes appended to the log by this commit.
+    pub bytes: usize,
+    /// CRC-32C over the entire appended byte run — the group-commit
+    /// integrity check covering every frame of the batch at once.
+    pub crc: u32,
+}
+
+/// A pending group-commit batch: records accepted (sequence numbers
+/// assigned) but not yet flushed into segments.
+#[derive(Debug, Clone, Default)]
+struct BatchState {
+    first_seq: u64,
+    pending: Vec<(u64, SimTime, Intent)>,
+}
+
 /// The segmented write-ahead log (see module docs).
 #[derive(Debug, Clone)]
 pub struct Wal {
     cfg: WalConfig,
     segments: Vec<Vec<u8>>,
     next_seq: u64,
+    /// Reusable record-encoding scratch: the steady-state append path
+    /// allocates nothing (record bytes are built here, then framed
+    /// straight into the live segment).
+    scratch: Encoder,
+    /// Open group-commit batch, if any (None = every append flushes
+    /// immediately).
+    batch: Option<BatchState>,
+    /// Nesting depth of `begin_batch`; only the outermost commit
+    /// flushes.
+    batch_nesting: u32,
 }
 
 impl Wal {
@@ -643,6 +675,9 @@ impl Wal {
             cfg,
             segments: Vec::new(),
             next_seq: 0,
+            scratch: Encoder::new(),
+            batch: None,
+            batch_nesting: 0,
         }
     }
 
@@ -668,6 +703,13 @@ impl Wal {
         &self.segments
     }
 
+    /// Consume the log, yielding its segment buffers — an ownership
+    /// handoff for harnesses that outlive the controller, replacing the
+    /// old `segments().to_vec()` copy.
+    pub fn into_segments(self) -> Vec<Vec<u8>> {
+        self.segments
+    }
+
     /// Total bytes across all segments.
     pub fn total_bytes(&self) -> usize {
         self.segments.iter().map(Vec::len).sum()
@@ -675,31 +717,47 @@ impl Wal {
 
     /// Append `intent` accepted at sim time `at`. Returns its sequence
     /// number.
+    ///
+    /// Steady state performs **zero heap allocations**: the record is
+    /// encoded into a reusable scratch buffer and framed straight into
+    /// the live segment ([`simcore::codec::frame_into`]). Inside an open
+    /// batch ([`Wal::begin_batch`]) the record is accepted (its sequence
+    /// number assigned) but flushed only at [`Wal::commit_batch`].
     pub fn append(&mut self, at: SimTime, intent: &Intent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(b) = self.batch.as_mut() {
+            b.pending.push((seq, at, intent.clone()));
+            return seq;
+        }
+        self.write_record(seq, at, intent);
+        seq
+    }
+
+    /// The pre-optimization append path, kept as the oracle the zero-copy
+    /// path is tested against and the honest "before" side of
+    /// `repro bench-wal`: a fresh encoder per record, an intermediate
+    /// framed `Vec`, and the byte-at-a-time reference CRC. Byte-identical
+    /// output to [`Wal::append`] (never deferred by batches).
+    pub fn append_reference(&mut self, at: SimTime, intent: &Intent) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let mut e = Encoder::new();
         e.u64(seq).u64(at.as_nanos());
         intent.encode(&mut e);
-        let rec = frame(&e.finish());
+        let payload = e.finish();
+        let mut rec = Vec::with_capacity(8 + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&simcore::crc32c_reference(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
         let need_new = match self.segments.last() {
             None => true,
             Some(seg) => {
-                // Seal once a record is present and the next would
-                // overflow; a single oversized record still gets a
-                // segment to itself.
                 seg.len() > Self::header_len() && seg.len() + rec.len() > self.cfg.segment_bytes
             }
         };
         if need_new {
-            let mut seg = Vec::with_capacity(self.cfg.segment_bytes.min(64 * 1024));
-            let mut h = Encoder::new();
-            h.u32(WAL_MAGIC)
-                .u32(WAL_VERSION)
-                .u64(self.segments.len() as u64)
-                .u64(seq);
-            seg.extend_from_slice(&frame(&h.finish()));
-            self.segments.push(seg);
+            self.push_segment(seq);
         }
         self.segments
             .last_mut()
@@ -708,23 +766,119 @@ impl Wal {
         seq
     }
 
+    /// Open a group-commit batch: subsequent appends are accepted but
+    /// buffered, to be flushed as one contiguous byte run by
+    /// [`Wal::commit_batch`]. Nested begin/commit pairs are collapsed
+    /// into the outermost batch.
+    pub fn begin_batch(&mut self) {
+        self.batch_nesting += 1;
+        if self.batch.is_none() {
+            self.batch = Some(BatchState {
+                first_seq: self.next_seq,
+                pending: Vec::new(),
+            });
+        }
+    }
+
+    /// Flush the open batch: every buffered record is encoded and framed
+    /// exactly as the one-record-per-append path would have (the segment
+    /// bytes are **byte-identical** to a sequence of single appends —
+    /// proven by `batch_commit_bytes_equal_single_appends`), appended in
+    /// one pass, and covered by a single batch CRC over the whole
+    /// appended run. Returns `None` while nested or with no batch open.
+    pub fn commit_batch(&mut self) -> Option<BatchCommit> {
+        if self.batch_nesting > 0 {
+            self.batch_nesting -= 1;
+        }
+        if self.batch_nesting > 0 {
+            return None;
+        }
+        let b = self.batch.take()?;
+        let mut crc = Crc32c::new();
+        let mut bytes = 0usize;
+        let records = b.pending.len() as u64;
+        for (seq, at, intent) in &b.pending {
+            let (seg_idx, start) = self.write_record(*seq, *at, intent);
+            let run = &self.segments[seg_idx][start..];
+            crc.update(run);
+            bytes += run.len();
+        }
+        Some(BatchCommit {
+            first_seq: b.first_seq,
+            records,
+            bytes,
+            crc: crc.finish(),
+        })
+    }
+
+    /// Records accepted into a batch but not yet flushed.
+    pub fn batch_pending(&self) -> u64 {
+        self.batch.as_ref().map_or(0, |b| b.pending.len() as u64)
+    }
+
+    /// Encode, frame, and write one record into the live segment (shared
+    /// by the immediate append path and the batch flush). Returns the
+    /// segment index and the byte offset the record's frame begins at.
+    fn write_record(&mut self, seq: u64, at: SimTime, intent: &Intent) -> (usize, usize) {
+        self.scratch.clear();
+        self.scratch.u64(seq).u64(at.as_nanos());
+        intent.encode(&mut self.scratch);
+        let rec_len = 8 + self.scratch.len();
+        let need_new = match self.segments.last() {
+            None => true,
+            Some(seg) => {
+                // Seal once a record is present and the next would
+                // overflow; a single oversized record still gets a
+                // segment to itself.
+                seg.len() > Self::header_len() && seg.len() + rec_len > self.cfg.segment_bytes
+            }
+        };
+        if need_new {
+            self.push_segment(seq);
+        }
+        let idx = self.segments.len() - 1;
+        let seg = &mut self.segments[idx];
+        let start = seg.len();
+        frame_into(self.scratch.as_slice(), seg);
+        (idx, start)
+    }
+
+    /// Start a fresh segment whose header names `first_seq`. The header
+    /// is built on the stack — no encoder allocation.
+    fn push_segment(&mut self, first_seq: u64) {
+        let mut seg = Vec::with_capacity(self.cfg.segment_bytes.min(64 * 1024));
+        let mut h = [0u8; 24];
+        h[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+        h[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        h[8..16].copy_from_slice(&(self.segments.len() as u64).to_le_bytes());
+        h[16..24].copy_from_slice(&first_seq.to_le_bytes());
+        frame_into(&h, &mut seg);
+        self.segments.push(seg);
+    }
+
     /// Byte length of an encoded segment header frame.
     fn header_len() -> usize {
         8 + 4 + 4 + 8 + 8
     }
 
-    /// A copy of the raw segments truncated to `bytes` total — the
+    /// Borrowed view of the raw segments truncated to `bytes` total — the
     /// crash-fuzz primitive: "the process died after flushing exactly
-    /// this many bytes".
-    pub fn truncated_copy(&self, bytes: usize) -> Vec<Vec<u8>> {
+    /// this many bytes". No segment bytes are copied.
+    pub fn truncated_view(&self, bytes: usize) -> Vec<&[u8]> {
+        Self::truncate_segments(&self.segments, bytes)
+    }
+
+    /// [`Wal::truncated_view`] over raw segments owned elsewhere.
+    pub fn truncate_segments<S: AsRef<[u8]>>(segments: &[S], bytes: usize) -> Vec<&[u8]> {
         let mut out = Vec::new();
         let mut budget = bytes;
-        for seg in &self.segments {
+        for seg in segments {
+            let seg = seg.as_ref();
             if budget == 0 {
                 break;
             }
             let take = seg.len().min(budget);
-            out.push(seg[..take].to_vec());
+            out.push(&seg[..take]);
             budget -= take;
         }
         out
@@ -732,118 +886,238 @@ impl Wal {
 
     /// Decode raw segments into records, tolerating a torn tail in the
     /// final segment and refusing anything else (see module docs).
-    pub fn decode(segments: &[Vec<u8>]) -> Result<(Vec<WalRecord>, OpenReport), WalError> {
-        let mut records = Vec::new();
-        let mut report = OpenReport {
-            segments: segments.len(),
-            ..OpenReport::default()
+    /// Accepts any slice-of-byte-slices (`&[Vec<u8>]`, `&[&[u8]]`, …) so
+    /// crash harnesses can hand in borrowed truncation views.
+    pub fn decode<S: AsRef<[u8]>>(
+        segments: &[S],
+    ) -> Result<(Vec<WalRecord>, OpenReport), WalError> {
+        let total = segments.len();
+        Self::merge_segments(
+            segments
+                .iter()
+                .enumerate()
+                .map(|(i, seg)| Self::decode_segment(i, seg.as_ref())),
+            total,
+        )
+    }
+
+    /// [`Wal::decode`] with segment decode + CRC verification fanned out
+    /// across `threads` worker threads (deterministic round-robin
+    /// sharding; the merge — header/torn classification, sequence
+    /// contiguity — stays sequential, so the result is identical to the
+    /// sequential oracle at every input, including every error case).
+    pub fn decode_parallel<S: AsRef<[u8]> + Sync>(
+        segments: &[S],
+        threads: usize,
+    ) -> Result<(Vec<WalRecord>, OpenReport), WalError> {
+        let total = segments.len();
+        let threads = threads.max(1).min(total.max(1));
+        if threads <= 1 || total <= 1 {
+            return Self::decode(segments);
+        }
+        let mut slots: Vec<Option<SegmentDecode>> = Vec::with_capacity(total);
+        slots.resize_with(total, || None);
+        // Round-robin shards: worker w owns segments w, w+threads, …
+        let mut work: Vec<Vec<(&mut Option<SegmentDecode>, usize)>> = Vec::new();
+        work.resize_with(threads, Vec::new);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            work[i % threads].push((slot, i));
+        }
+        std::thread::scope(|s| {
+            for lot in work {
+                s.spawn(|| {
+                    for (slot, i) in lot {
+                        *slot = Some(Self::decode_segment(i, segments[i].as_ref()));
+                    }
+                });
+            }
+        });
+        Self::merge_segments(
+            slots.into_iter().map(|r| r.expect("worker filled slot")),
+            total,
+        )
+    }
+
+    /// Decode one segment in isolation: header check, frame CRCs, record
+    /// decode. Cross-segment concerns (is a torn tail legal here?
+    /// sequence contiguity) are deferred to [`Wal::merge_segments`].
+    fn decode_segment(i: usize, seg: &[u8]) -> SegmentDecode {
+        let mut out = SegmentDecode {
+            index: i,
+            records: Vec::new(),
+            torn_bytes: 0,
+            err: None,
         };
-        for (i, seg) in segments.iter().enumerate() {
-            let last = i + 1 == segments.len();
-            let mut pos = 0;
-            // Header frame.
-            match read_frame(seg, &mut pos) {
-                Some(Frame::Ok(hdr)) => {
-                    let mut d = Decoder::new(hdr);
-                    let parse = (|| -> Result<(u32, u32, u64), CodecError> {
-                        let magic = d.u32()?;
-                        let version = d.u32()?;
-                        let index = d.u64()?;
-                        let _first_seq = d.u64()?;
-                        Ok((magic, version, index))
-                    })();
-                    match parse {
-                        Ok((magic, version, index)) => {
-                            if magic != WAL_MAGIC {
-                                return Err(WalError::BadHeader {
-                                    segment: i,
-                                    detail: format!("magic {magic:#010x}"),
-                                });
-                            }
-                            if version != WAL_VERSION {
-                                return Err(WalError::BadHeader {
-                                    segment: i,
-                                    detail: format!("version {version}"),
-                                });
-                            }
-                            if index != i as u64 {
-                                return Err(WalError::BadHeader {
-                                    segment: i,
-                                    detail: format!("index {index}, expected {i}"),
-                                });
-                            }
-                        }
-                        Err(e) => {
-                            return Err(WalError::BadHeader {
+        let mut pos = 0;
+        // Header frame.
+        match read_frame(seg, &mut pos) {
+            Some(Frame::Ok(hdr)) => {
+                let mut d = Decoder::new(hdr);
+                let parse = (|| -> Result<(u32, u32, u64), CodecError> {
+                    let magic = d.u32()?;
+                    let version = d.u32()?;
+                    let index = d.u64()?;
+                    let _first_seq = d.u64()?;
+                    Ok((magic, version, index))
+                })();
+                match parse {
+                    Ok((magic, version, index)) => {
+                        if magic != WAL_MAGIC {
+                            out.err = Some(WalError::BadHeader {
                                 segment: i,
-                                detail: e.to_string(),
-                            })
+                                detail: format!("magic {magic:#010x}"),
+                            });
+                            return out;
+                        }
+                        if version != WAL_VERSION {
+                            out.err = Some(WalError::BadHeader {
+                                segment: i,
+                                detail: format!("version {version}"),
+                            });
+                            return out;
+                        }
+                        if index != i as u64 {
+                            out.err = Some(WalError::BadHeader {
+                                segment: i,
+                                detail: format!("index {index}, expected {i}"),
+                            });
+                            return out;
+                        }
+                    }
+                    Err(e) => {
+                        out.err = Some(WalError::BadHeader {
+                            segment: i,
+                            detail: e.to_string(),
+                        });
+                        return out;
+                    }
+                }
+            }
+            Some(Frame::Torn { bytes }) => {
+                // The crash tore the segment open itself; whether that is
+                // a clean rollback or mid-log corruption depends on
+                // whether this is the final segment — merge decides.
+                out.torn_bytes = bytes;
+                return out;
+            }
+            Some(Frame::Corrupt { stored, computed }) => {
+                out.err = Some(WalError::Corrupt {
+                    segment: i,
+                    stored,
+                    computed,
+                });
+                return out;
+            }
+            None => {
+                out.err = Some(WalError::BadHeader {
+                    segment: i,
+                    detail: "empty segment".into(),
+                });
+                return out;
+            }
+        }
+        // Record frames.
+        loop {
+            match read_frame(seg, &mut pos) {
+                None => break,
+                Some(Frame::Ok(payload)) => {
+                    let mut d = Decoder::new(payload);
+                    let rec = (|| -> Result<WalRecord, CodecError> {
+                        let seq = d.u64()?;
+                        let at = SimTime::from_nanos(d.u64()?);
+                        let intent = Intent::decode(&mut d)?;
+                        Ok(WalRecord { seq, at, intent })
+                    })();
+                    match rec {
+                        Ok(rec) => out.records.push(rec),
+                        Err(source) => {
+                            out.err = Some(WalError::BadRecord { segment: i, source });
+                            return out;
                         }
                     }
                 }
-                Some(Frame::Torn { bytes }) if last => {
-                    // The crash tore the segment open itself; the whole
-                    // fragment rolls back.
-                    report.torn_bytes += bytes;
-                    report.rolled_back_tail = true;
+                Some(Frame::Torn { bytes }) => {
+                    out.torn_bytes = bytes;
                     break;
                 }
-                Some(Frame::Torn { .. }) => return Err(WalError::TornMidLog { segment: i }),
                 Some(Frame::Corrupt { stored, computed }) => {
-                    return Err(WalError::Corrupt {
+                    out.err = Some(WalError::Corrupt {
                         segment: i,
                         stored,
                         computed,
-                    })
-                }
-                None => {
-                    return Err(WalError::BadHeader {
-                        segment: i,
-                        detail: "empty segment".into(),
-                    })
+                    });
+                    return out;
                 }
             }
-            // Record frames.
-            loop {
-                match read_frame(seg, &mut pos) {
-                    None => break,
-                    Some(Frame::Ok(payload)) => {
-                        let mut d = Decoder::new(payload);
-                        let rec = (|| -> Result<WalRecord, CodecError> {
-                            let seq = d.u64()?;
-                            let at = SimTime::from_nanos(d.u64()?);
-                            let intent = Intent::decode(&mut d)?;
-                            Ok(WalRecord { seq, at, intent })
-                        })()
-                        .map_err(|source| WalError::BadRecord { segment: i, source })?;
-                        let expected = records.len() as u64;
-                        if rec.seq != expected {
-                            return Err(WalError::BadSequence {
-                                expected,
-                                found: rec.seq,
-                            });
-                        }
-                        records.push(rec);
-                    }
-                    Some(Frame::Torn { bytes }) if last => {
-                        report.torn_bytes += bytes;
-                        report.rolled_back_tail = true;
-                        break;
-                    }
-                    Some(Frame::Torn { .. }) => return Err(WalError::TornMidLog { segment: i }),
-                    Some(Frame::Corrupt { stored, computed }) => {
-                        return Err(WalError::Corrupt {
-                            segment: i,
-                            stored,
-                            computed,
-                        })
-                    }
+        }
+        out
+    }
+
+    /// Stitch per-segment decodes back into one history, in segment
+    /// order: validate sequence contiguity (records precede any
+    /// positional error inside their segment, matching the sequential
+    /// scan's error ordering), classify torn tails (legal only in the
+    /// final segment), and surface the first error.
+    fn merge_segments(
+        segs: impl Iterator<Item = SegmentDecode>,
+        total: usize,
+    ) -> Result<(Vec<WalRecord>, OpenReport), WalError> {
+        let mut records = Vec::new();
+        let mut report = OpenReport {
+            segments: total,
+            ..OpenReport::default()
+        };
+        for sd in segs {
+            let last = sd.index + 1 == total;
+            for rec in sd.records {
+                let expected = records.len() as u64;
+                if rec.seq != expected {
+                    return Err(WalError::BadSequence {
+                        expected,
+                        found: rec.seq,
+                    });
+                }
+                records.push(rec);
+            }
+            if let Some(e) = sd.err {
+                return Err(e);
+            }
+            if sd.torn_bytes > 0 {
+                if last {
+                    report.torn_bytes += sd.torn_bytes;
+                    report.rolled_back_tail = true;
+                } else {
+                    return Err(WalError::TornMidLog { segment: sd.index });
                 }
             }
         }
         report.records = records.len() as u64;
         Ok((records, report))
     }
+}
+
+/// One segment's isolated decode (see [`Wal::decode_segment`]).
+struct SegmentDecode {
+    index: usize,
+    records: Vec<WalRecord>,
+    /// Trailing bytes of an incomplete frame (0 = segment ended cleanly).
+    torn_bytes: usize,
+    /// Positional error (bad header, corrupt frame, undecodable record).
+    err: Option<WalError>,
+}
+
+/// Worker-thread count for parallel WAL decode: the `REPRO_THREADS` env
+/// override (for reproducible CI timings), else available parallelism.
+pub fn decode_threads() -> usize {
+    std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 #[cfg(test)]
@@ -931,7 +1205,7 @@ mod tests {
         }
         let total = wal.total_bytes();
         for cut in 0..=total {
-            let segs = wal.truncated_copy(cut);
+            let segs = wal.truncated_view(cut);
             let (records, report) =
                 Wal::decode(&segs).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
             assert!(records.len() <= sample_intents().len());
@@ -983,5 +1257,161 @@ mod tests {
         let rebuilt = Wal::from_records(WalConfig { segment_bytes: 256 }, &records);
         assert_eq!(rebuilt.segments(), wal.segments());
         assert_eq!(rebuilt.records(), wal.records());
+    }
+
+    #[test]
+    fn zero_copy_append_matches_reference_path() {
+        // The optimized path must be byte-identical to the pre-PR oracle
+        // across a segment-size sweep (exercising rollover boundaries).
+        for segment_bytes in [64, 96, 128, 256, 8192] {
+            let mut fast = Wal::new(WalConfig { segment_bytes });
+            let mut slow = Wal::new(WalConfig { segment_bytes });
+            for (i, intent) in sample_intents().iter().enumerate() {
+                let a = fast.append(SimTime::from_secs(i as u64), intent);
+                let b = slow.append_reference(SimTime::from_secs(i as u64), intent);
+                assert_eq!(a, b);
+            }
+            assert_eq!(
+                fast.segments(),
+                slow.segments(),
+                "segment_bytes={segment_bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_commit_bytes_equal_single_appends() {
+        let intents = sample_intents();
+        let mut single = Wal::new(WalConfig { segment_bytes: 128 });
+        for (i, intent) in intents.iter().enumerate() {
+            single.append(SimTime::from_secs(i as u64), intent);
+        }
+        let mut batched = Wal::new(WalConfig { segment_bytes: 128 });
+        batched.begin_batch();
+        for (i, intent) in intents.iter().enumerate() {
+            let seq = batched.append(SimTime::from_secs(i as u64), intent);
+            assert_eq!(seq, i as u64, "seq assigned eagerly inside a batch");
+        }
+        assert_eq!(batched.batch_pending(), intents.len() as u64);
+        assert!(
+            batched.segments().is_empty(),
+            "nothing flushed until commit"
+        );
+        let commit = batched.commit_batch().expect("outermost commit flushes");
+        assert_eq!(commit.first_seq, 0);
+        assert_eq!(commit.records, intents.len() as u64);
+        assert_eq!(batched.segments(), single.segments());
+        // The batch CRC covers exactly the appended record frames.
+        let run: Vec<u8> = single
+            .segments()
+            .iter()
+            .flat_map(|s| s[Wal::header_len()..].to_vec())
+            .collect();
+        assert_eq!(commit.bytes, run.len());
+        assert_eq!(commit.crc, simcore::crc32c(&run));
+    }
+
+    #[test]
+    fn nested_batches_collapse_into_outermost() {
+        let intents = sample_intents();
+        let mut wal = Wal::new(WalConfig::default());
+        wal.begin_batch();
+        wal.append(SimTime::ZERO, &intents[0]);
+        wal.begin_batch();
+        wal.append(SimTime::from_secs(1), &intents[1]);
+        assert!(wal.commit_batch().is_none(), "inner commit defers");
+        assert!(wal.segments().is_empty());
+        let commit = wal.commit_batch().expect("outer commit flushes");
+        assert_eq!(commit.records, 2);
+        let (records, _) = Wal::decode(wal.segments()).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn parallel_decode_matches_sequential_everywhere() {
+        let mut wal = Wal::new(WalConfig { segment_bytes: 96 });
+        for (i, intent) in sample_intents().iter().enumerate() {
+            wal.append(SimTime::from_secs(i as u64), intent);
+        }
+        assert!(wal.segments().len() >= 3, "want several segments");
+        let total = wal.total_bytes();
+        // Every crash offset, both intact and truncated logs, every
+        // thread count: parallel decode must agree exactly.
+        for threads in [1, 2, 3, 8] {
+            for cut in 0..=total {
+                let segs = wal.truncated_view(cut);
+                let seq = Wal::decode(&segs);
+                let par = Wal::decode_parallel(&segs, threads);
+                assert_eq!(seq, par, "cut={cut} threads={threads}");
+            }
+        }
+        // Error cases must match too: corruption and mid-log tears.
+        let mut corrupt: Vec<Vec<u8>> = wal.segments().to_vec();
+        let mid = corrupt[1].len() / 2;
+        corrupt[1][mid] ^= 0x40;
+        assert_eq!(Wal::decode(&corrupt), Wal::decode_parallel(&corrupt, 4));
+        let mut torn: Vec<Vec<u8>> = wal.segments().to_vec();
+        let cut = torn[0].len() - 3;
+        torn[0].truncate(cut);
+        assert_eq!(Wal::decode(&torn), Wal::decode_parallel(&torn, 4));
+        assert_eq!(
+            Wal::decode_parallel(&torn, 4),
+            Err(WalError::TornMidLog { segment: 0 })
+        );
+    }
+
+    #[test]
+    fn decode_accepts_borrowed_slices() {
+        let mut wal = Wal::new(WalConfig::default());
+        for (i, intent) in sample_intents().iter().enumerate() {
+            wal.append(SimTime::from_secs(i as u64), intent);
+        }
+        let views: Vec<&[u8]> = wal.segments().iter().map(|s| s.as_slice()).collect();
+        let (a, _) = Wal::decode(&views).unwrap();
+        let (b, _) = Wal::decode(wal.segments()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Group commit with arbitrary batch boundaries produces the
+            /// same WAL bytes as one-append-per-record.
+            #[test]
+            fn batching_never_changes_bytes(
+                boundaries in prop::collection::vec(any::<bool>(), 8..9),
+                segment_bytes in 64usize..512,
+            ) {
+                let intents = sample_intents();
+                let mut single = Wal::new(WalConfig { segment_bytes });
+                for (i, intent) in intents.iter().enumerate() {
+                    single.append(SimTime::from_secs(i as u64), intent);
+                }
+                let mut batched = Wal::new(WalConfig { segment_bytes });
+                let mut open = false;
+                for (i, intent) in intents.iter().enumerate() {
+                    // A `true` boundary closes any open batch and opens a
+                    // new one; records before the first boundary go down
+                    // the immediate path.
+                    if boundaries[i] {
+                        if open {
+                            batched.commit_batch();
+                        }
+                        batched.begin_batch();
+                        open = true;
+                    }
+                    batched.append(SimTime::from_secs(i as u64), intent);
+                }
+                if open {
+                    batched.commit_batch();
+                }
+                prop_assert_eq!(batched.segments(), single.segments());
+                prop_assert_eq!(batched.records(), single.records());
+            }
+        }
     }
 }

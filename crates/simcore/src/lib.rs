@@ -64,7 +64,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use codec::{crc32c, CodecError, Decoder, Encoder};
+pub use codec::{crc32c, crc32c_reference, CodecError, Crc32c, CrcWriter, Decoder, Encoder};
 pub use metrics::{
     Counter, CounterSample, FamilyRegistry, Gauge, GaugeSample, Histogram, HistogramSample,
     LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,

@@ -84,7 +84,7 @@ fn torn_tail_rolls_back_to_the_previous_record() {
     let (full, _) = Wal::decode(wal.segments()).unwrap();
     let total = wal.total_bytes();
     let target = primary.now();
-    let segments = wal.truncated_copy(total - 3);
+    let segments = wal.truncated_view(total - 3);
     let outcome = recover(
         genesis,
         &segments,
@@ -177,17 +177,8 @@ proptest! {
 
         // cut_bp is basis points of the log length: 0 ..= 100.00 %.
         let cut = (fx.total as u64 * cut_bp / 10_000) as usize;
-        let surviving: Vec<Vec<u8>> = {
-            let mut out = Vec::new();
-            let mut budget = cut;
-            for seg in &fx.segments {
-                if budget == 0 { break; }
-                let take = seg.len().min(budget);
-                out.push(seg[..take].to_vec());
-                budget -= take;
-            }
-            out
-        };
+        // Borrowed truncation view — the crash harness copies no bytes.
+        let surviving: Vec<&[u8]> = Wal::truncate_segments(&fx.segments, cut);
 
         // Cold, snapshot-free recovery.
         let cold = recover(genesis, &surviving, &SnapshotStore::new(0), fx.target, WalConfig::default())
