@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod ha_target;
 pub mod noc_target;
 pub mod registry;
+pub mod scale_target;
 pub mod scenario;
 pub mod table;
 pub mod trace_target;

@@ -8,12 +8,57 @@
 
 use crate::experiments as exp;
 
+/// Category a target belongs to — `--list` groups by these, in the
+/// order they are declared here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Direct reproductions of the paper's tables, figures, and
+    /// experiment narratives.
+    Paper,
+    /// Engine performance: RWA micro-benchmarks, route-cache counters.
+    Perf,
+    /// Economics / workload studies (bandwidth-on-demand value).
+    Economics,
+    /// Observability: tracing, telemetry, alarm correlation.
+    Observability,
+    /// Durability: WAL, snapshots, failover.
+    Durability,
+    /// Continental-scale sweeps over generated plants.
+    Scale,
+}
+
+impl Category {
+    /// `--list` section header.
+    pub fn header(self) -> &'static str {
+        match self {
+            Category::Paper => "paper",
+            Category::Perf => "perf",
+            Category::Economics => "economics",
+            Category::Observability => "observability",
+            Category::Durability => "durability",
+            Category::Scale => "scale",
+        }
+    }
+}
+
+/// Every category, in the order `--list` prints its sections.
+pub const CATEGORIES: &[Category] = &[
+    Category::Paper,
+    Category::Perf,
+    Category::Economics,
+    Category::Observability,
+    Category::Durability,
+    Category::Scale,
+];
+
 /// One runnable `repro` target.
 pub struct Target {
     /// Name passed on the command line (`repro <name>`).
     pub name: &'static str,
     /// One-line description for `repro --list`.
     pub about: &'static str,
+    /// Section this target is listed under.
+    pub category: Category,
     /// Runner; returns the text to print.
     pub run: fn() -> String,
 }
@@ -23,142 +68,176 @@ pub const TARGETS: &[Target] = &[
     Target {
         name: "table1",
         about: "Table 1 — provisioning latency per service class",
+        category: Category::Paper,
         run: exp::table1,
     },
     Target {
         name: "table2",
         about: "Table 2 — control-plane phase breakdown",
+        category: Category::Paper,
         run: exp::table2,
     },
     Target {
         name: "fig1",
         about: "Fig. 1 — layered testbed view (static)",
+        category: Category::Paper,
         run: fig1,
     },
     Target {
         name: "fig2",
         about: "Fig. 2 — layered testbed view (with services)",
+        category: Category::Paper,
         run: fig2,
     },
     Target {
         name: "fig3",
         about: "Fig. 3 — GUI connection view",
+        category: Category::Paper,
         run: exp::fig3,
     },
     Target {
         name: "fig4",
         about: "Fig. 4 — testbed topology walk-through",
+        category: Category::Paper,
         run: exp::fig4,
     },
     Target {
         name: "fig6",
         about: "Fig. 6 — bandwidth-on-demand timeline",
+        category: Category::Economics,
         run: exp::fig6,
     },
     Target {
         name: "fig7",
         about: "Fig. 7 — restoration sequence",
+        category: Category::Paper,
         run: exp::fig7,
     },
     Target {
         name: "e1-teardown",
         about: "E1 — teardown latency",
+        category: Category::Paper,
         run: exp::e1_teardown,
     },
     Target {
         name: "e2-restoration",
         about: "E2 — restoration after a fiber cut",
+        category: Category::Paper,
         run: exp::e2_restoration,
     },
     Target {
         name: "e2b-parallelism",
         about: "E2b — EMS parallelism ablation",
+        category: Category::Paper,
         run: exp::e2b_parallelism,
     },
     Target {
         name: "e3-maintenance",
         about: "E3 — hitless maintenance roll",
+        category: Category::Paper,
         run: exp::e3_maintenance,
     },
     Target {
         name: "e4-composite",
         about: "E4 — composite service lifecycle",
+        category: Category::Paper,
         run: exp::e4_composite,
     },
     Target {
         name: "e5-bulk",
         about: "E5 — bulk provisioning sweep",
+        category: Category::Paper,
         run: exp::e5_bulk,
     },
     Target {
         name: "e5b-full-mesh",
         about: "E5b — full-mesh NSFNET provisioning",
+        category: Category::Paper,
         run: exp::e5b_full_mesh,
     },
     Target {
         name: "e6-grooming",
         about: "E6 — sub-wavelength grooming",
+        category: Category::Paper,
         run: exp::e6_grooming,
     },
     Target {
         name: "e7-ablation",
         about: "E7 — feature ablation grid",
+        category: Category::Paper,
         run: exp::e7_ablation,
     },
     Target {
         name: "e8-protection",
         about: "E8 — 1+1 protection switchover",
+        category: Category::Paper,
         run: exp::e8_protection,
     },
     Target {
         name: "e9-planning",
         about: "E9 — calendar booking and planning",
+        category: Category::Paper,
         run: exp::e9_planning,
     },
     Target {
         name: "e10-sla",
         about: "E10 — SLA availability accounting",
+        category: Category::Paper,
         run: exp::e10_sla,
     },
     Target {
         name: "perf",
         about: "engine performance counters (route cache, CSR sweeps)",
+        category: Category::Perf,
         run: exp::perf,
     },
     Target {
         name: "all",
         about: "every table, figure, and experiment above",
+        category: Category::Paper,
         run: exp::all,
     },
     Target {
         name: "bench-rwa",
         about: "writes BENCH_rwa.json (RWA micro-benchmarks)",
+        category: Category::Perf,
         run: bench_rwa,
     },
     Target {
         name: "bench-cloud",
         about: "writes BENCH_cloud.json (cloud workload replay)",
+        category: Category::Economics,
         run: bench_cloud,
     },
     Target {
         name: "trace",
         about: "writes BENCH_trace.json + BENCH_trace_chrome.json",
+        category: Category::Observability,
         run: trace,
     },
     Target {
         name: "noc",
         about: "writes BENCH_noc.json + noc_exposition.txt",
+        category: Category::Observability,
         run: noc,
     },
     Target {
         name: "ha",
         about: "writes BENCH_ha.json (WAL, snapshots, crash-point failover)",
+        category: Category::Durability,
         run: ha,
     },
     Target {
         name: "bench-wal",
         about: "writes BENCH_wal.json (CRC, WAL append, digest, replay speed)",
+        category: Category::Durability,
         run: bench_wal,
+    },
+    Target {
+        name: "scale",
+        about: "writes BENCH_scale.json (plant-size sweep, sharded RWA, digests)",
+        category: Category::Scale,
+        run: scale,
     },
 ];
 
@@ -194,6 +273,10 @@ fn bench_wal() -> String {
     crate::bench_wal::emit("BENCH_wal.json")
 }
 
+fn scale() -> String {
+    crate::scale_target::emit("BENCH_scale.json")
+}
+
 /// Look up a target by name.
 pub fn find(name: &str) -> Option<&'static Target> {
     TARGETS.iter().find(|t| t.name == name)
@@ -217,14 +300,27 @@ pub fn usage() -> String {
     out
 }
 
-/// The `--list` output: one aligned `name — about` row per target.
+/// The `--list` output: one aligned `name — about` row per target,
+/// grouped under category headers ([`CATEGORIES`] order; declaration
+/// order within a group).
 pub fn list() -> String {
     let width = TARGETS.iter().map(|t| t.name.len()).max().unwrap_or(0);
-    TARGETS
-        .iter()
-        .map(|t| format!("{:width$}  {}", t.name, t.about))
-        .collect::<Vec<_>>()
-        .join("\n")
+    let mut out = String::new();
+    for (i, cat) in CATEGORIES.iter().enumerate() {
+        let rows: Vec<&Target> = TARGETS.iter().filter(|t| t.category == *cat).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{}:\n", cat.header()));
+        for t in rows {
+            out.push_str(&format!("  {:width$}  {}\n", t.name, t.about));
+        }
+    }
+    out.pop(); // drop the trailing newline
+    out
 }
 
 #[cfg(test)]
@@ -252,5 +348,28 @@ mod tests {
             assert!(usage.contains(t.name), "usage omits {}", t.name);
             assert!(list.contains(t.name), "--list omits {}", t.name);
         }
+    }
+
+    #[test]
+    fn list_groups_by_category() {
+        let list = list();
+        for cat in CATEGORIES {
+            let header = format!("{}:", cat.header());
+            assert!(list.contains(&header), "--list omits section {header}");
+        }
+        // Sections appear in CATEGORIES order.
+        let mut last = 0;
+        for cat in CATEGORIES {
+            let pos = list
+                .find(&format!("{}:", cat.header()))
+                .expect("section present");
+            assert!(pos >= last, "section {} out of order", cat.header());
+            last = pos;
+        }
+        // Every target row sits under its own section header: the scale
+        // target must come after the `scale:` header.
+        let scale_pos = list.find("\n  scale ").or_else(|| list.find("  scale "));
+        let header_pos = list.find("scale:").unwrap();
+        assert!(scale_pos.unwrap() > header_pos);
     }
 }

@@ -46,6 +46,15 @@ pub enum TopologySpec {
         /// Regens per node.
         regens_per_node: usize,
     },
+    /// A generated hierarchical plant (`photonic::generator`) of roughly
+    /// `target_roadms` nodes; the region partition is installed on the
+    /// controller's path engine automatically.
+    Generated {
+        /// Approximate plant size in ROADMs (exact for 14/100/300/600).
+        target_roadms: usize,
+        /// Generator seed (independent of the scenario seed).
+        plant_seed: u64,
+    },
 }
 
 /// One tenant to onboard.
@@ -268,12 +277,24 @@ pub fn run_with(spec: &ScenarioSpec) -> Result<(String, Controller), ScenarioErr
 /// crash recovery and the warm standby replay against
 /// (`griphon::durability`).
 pub fn genesis(spec: &ScenarioSpec) -> Controller {
+    let mut region_map = None;
     let net = match spec.topology {
         TopologySpec::Testbed { ots_per_node } => PhotonicNetwork::testbed(ots_per_node).0,
         TopologySpec::Nsfnet {
             ots_per_node,
             regens_per_node,
         } => PhotonicNetwork::nsfnet(ots_per_node, LineRate::Gbps10, regens_per_node),
+        TopologySpec::Generated {
+            target_roadms,
+            plant_seed,
+        } => {
+            let plant = photonic::generate(&photonic::GeneratorConfig::with_target_roadms(
+                target_roadms,
+                plant_seed,
+            ));
+            region_map = Some(griphon::rwa::RegionMap::new(plant.region_of));
+            plant.net
+        }
     };
     let mut cfg = ControllerConfig {
         seed: spec.seed,
@@ -284,6 +305,10 @@ pub fn genesis(spec: &ScenarioSpec) -> Controller {
         cfg.equalization = EqualizationModel::calibrated_deterministic();
     }
     let mut ctl = Controller::new(net, cfg);
+    if let Some(map) = region_map {
+        ctl.install_region_map(map)
+            .expect("generated plants satisfy the single-gateway invariant");
+    }
     if let Some(secs) = spec.noc_scrape_secs {
         ctl.noc.enable(SimDuration::from_secs(secs));
     }

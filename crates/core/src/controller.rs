@@ -606,11 +606,59 @@ impl Controller {
     /// One-line wall-clock performance summary: planning-latency
     /// percentiles and route-cache hit rate.
     pub fn perf_summary(&self) -> String {
-        let (hits, misses) = self.engine.cache_stats();
+        let s = self.engine.route_cache_stats();
         format!(
-            "plan_wavelength {} | route-cache {hits} hits / {misses} misses",
-            self.perf.summary()
+            "plan_wavelength {} | route-cache {} hits / {} misses / {} evictions ({} resident)",
+            self.perf.summary(),
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.entries
         )
+    }
+
+    /// Route-cache counters of the controller's path engine.
+    ///
+    /// Deliberately *not* folded into [`Controller::metrics`]: the
+    /// metrics registry is part of the state digest, and cache traffic is
+    /// derived, host-local state — a failover replica replans cold with
+    /// different hit counts while carrying identical persistent state.
+    /// Exporters publish these through
+    /// [`rwa::PathEngine::export_cache_metrics`] instead.
+    pub fn route_cache_stats(&self) -> rwa::RouteCacheStats {
+        self.engine.route_cache_stats()
+    }
+
+    /// Publish the path engine's route-cache counters into a metrics
+    /// family registry (see [`rwa::PathEngine::export_cache_metrics`]).
+    pub fn export_route_cache_metrics(&self, reg: &mut simcore::metrics::FamilyRegistry) {
+        self.engine.export_cache_metrics(reg);
+    }
+
+    /// Install a validated region partition on the path engine: search is
+    /// then restricted to the endpoint regions plus the backbone, which
+    /// is provably route-identical under the single-gateway invariant
+    /// (see [`rwa::RegionMap`]) and keeps per-query cost tracking region
+    /// size instead of plant size. Survives [`Controller::fork`].
+    pub fn install_region_map(&mut self, map: rwa::RegionMap) -> Result<(), String> {
+        self.engine.install_region_map(&self.net, map)
+    }
+
+    /// Estimated heap footprint of the controller's hot state in bytes,
+    /// itemised per subsystem — the scale benchmark's memory column. An
+    /// estimate for capacity planning, not an allocator measurement.
+    pub fn memory_footprint(&self) -> simcore::metrics::Footprint {
+        use std::mem::size_of_val;
+        let mut fp = simcore::metrics::Footprint::new();
+        fp.add("photonic plant", self.net.memory_footprint() as u64);
+        fp.add(
+            "connections",
+            (self.conns.len() * 256 + self.trunks.len() * 192) as u64,
+        );
+        fp.add("scheduler", (self.sched.pending() * 128) as u64);
+        fp.add("trace ring", (self.trace.len() * 96) as u64);
+        fp.add("rng + counters", size_of_val(&self.rng) as u64);
+        fp
     }
 
     // ── time ────────────────────────────────────────────────────────
@@ -1453,7 +1501,7 @@ impl Controller {
             restoration_enqueued_at: self.restoration_enqueued_at.clone(),
             metrics: self.metrics.clone(),
             noc: self.noc.clone(),
-            engine: rwa::PathEngine::new(),
+            engine: self.engine.fresh_like(),
             perf: LatencyRecorder::new(),
             journal: None,
             journal_depth: 0,

@@ -77,6 +77,6 @@ pub use durability::{
 pub use inventory::InventorySnapshot;
 pub use layers::{Layer, LayerStack, ServiceCategory};
 pub use noc::{Noc, RootCause};
-pub use rwa::{RwaConfig, RwaError, WavelengthPlan};
+pub use rwa::{RegionMap, RouteCacheStats, RwaConfig, RwaError, WavelengthPlan};
 pub use sla::{nines, SlaReport};
 pub use tenant::{CustomerId, TenantRegistry};

@@ -30,6 +30,108 @@ use photonic::{
     FiberId, LineRate, PhotonicNetwork, ReachModel, RegenId, RoadmId, TransponderId, Wavelength,
 };
 
+/// Region partition of a plant for region-restricted path search.
+///
+/// Nodes are either interior to exactly one region or part of the
+/// backbone transit core ([`RegionMap::BACKBONE`]). The map is only
+/// *installed* after [`RegionMap::validate`] proves the single-gateway
+/// invariant: every region's interior touches the rest of the plant
+/// through exactly one backbone hub. Under that invariant a simple path
+/// can never cross a third region's interior, so restricting Dijkstra /
+/// Yen to `{region(src), region(dst), backbone}` returns **exactly** the
+/// paths a whole-plant search would — the restriction is a pure search-
+/// space reduction (per-query cost tracks region size, not plant size),
+/// never a heuristic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    /// Region id per ROADM index; [`RegionMap::BACKBONE`] marks hubs.
+    region_of: Vec<u16>,
+}
+
+impl RegionMap {
+    /// Region id of backbone transit hubs (members of every search).
+    pub const BACKBONE: u16 = u16::MAX;
+
+    /// Wrap a per-node region assignment (one entry per ROADM index).
+    pub fn new(region_of: Vec<u16>) -> RegionMap {
+        RegionMap { region_of }
+    }
+
+    /// The region of a node.
+    pub fn region(&self, n: RoadmId) -> u16 {
+        self.region_of[n.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// True when the map covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.region_of.is_empty()
+    }
+
+    /// Is `node` admissible for a query between regions `ra` and `rb`?
+    #[inline]
+    fn admits(&self, node: RoadmId, ra: u16, rb: u16) -> bool {
+        let r = self.region_of[node.index()];
+        r == ra || r == rb || r == Self::BACKBONE
+    }
+
+    /// Prove the single-gateway invariant against a plant:
+    ///
+    /// 1. the map covers every node;
+    /// 2. no fiber connects two *different* region interiors directly;
+    /// 3. each region's interior is adjacent to exactly one backbone hub.
+    ///
+    /// Returns the offending condition as text on failure; installation
+    /// into a [`PathEngine`] refuses maps that fail, because restricted
+    /// search is only exact under this invariant.
+    pub fn validate(&self, net: &PhotonicNetwork) -> Result<(), String> {
+        if self.region_of.len() != net.roadm_count() {
+            return Err(format!(
+                "region map covers {} nodes, plant has {}",
+                self.region_of.len(),
+                net.roadm_count()
+            ));
+        }
+        let regions = self
+            .region_of
+            .iter()
+            .filter(|&&r| r != Self::BACKBONE)
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut gateway: Vec<Option<RoadmId>> = vec![None; regions];
+        for f in net.fiber_ids() {
+            let l = net.fiber(f);
+            let (ra, rb) = (self.region_of[l.a.index()], self.region_of[l.b.index()]);
+            if ra == rb {
+                continue;
+            }
+            if ra != Self::BACKBONE && rb != Self::BACKBONE {
+                return Err(format!("{f} connects interiors of regions {ra} and {rb}"));
+            }
+            let (hub, region) = if ra == Self::BACKBONE {
+                (l.a, rb)
+            } else {
+                (l.b, ra)
+            };
+            match gateway[region as usize] {
+                None => gateway[region as usize] = Some(hub),
+                Some(h) if h == hub => {}
+                Some(h) => {
+                    return Err(format!(
+                        "region {region} reaches the backbone through both {h} and {hub}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A fully resolved wavelength-connection plan, ready to provision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WavelengthPlan {
@@ -99,9 +201,15 @@ struct DijkstraScratch {
     heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, RoadmId)>>,
 }
 
+/// The per-query region restriction handed down to the Dijkstra scratch:
+/// the installed map plus the two endpoint regions whose interiors (and
+/// the backbone) are admissible. `None` searches the whole plant.
+type RegionFilter<'a> = Option<(&'a RegionMap, u16, u16)>;
+
 impl DijkstraScratch {
-    /// Dijkstra by km over up fibers, with exclusion sets. Returns the
-    /// fiber sequence. Distances use integer metres for exact `Ord`.
+    /// Dijkstra by km over up fibers, with exclusion sets and an optional
+    /// region restriction. Returns the fiber sequence. Distances use
+    /// integer metres for exact `Ord`.
     fn shortest_path(
         &mut self,
         net: &PhotonicNetwork,
@@ -109,6 +217,7 @@ impl DijkstraScratch {
         to: RoadmId,
         excluded_fibers: &[FiberId],
         excluded_nodes: &[RoadmId],
+        allowed: RegionFilter<'_>,
     ) -> Option<Vec<FiberId>> {
         use std::cmp::Reverse;
 
@@ -150,6 +259,11 @@ impl DijkstraScratch {
                 {
                     continue;
                 }
+                if let Some((map, ra, rb)) = allowed {
+                    if !map.admits(m, ra, rb) {
+                        continue;
+                    }
+                }
                 let nd = d + (net.fiber(fid).length_km() * 1000.0) as u64;
                 let mi = m.index();
                 if self.dist_stamp[mi] != stamp || nd < self.dist[mi] {
@@ -187,6 +301,12 @@ pub struct RwaConfig {
     /// cache. Results are identical either way (the cache is invalidated
     /// by any topology change); disabling only costs recomputation.
     pub use_route_cache: bool,
+    /// Upper bound on resident route-cache entries. When full, the
+    /// least-recently-used eighth of the entries (stale-epoch entries
+    /// first) is evicted in one pass. Eviction only costs recomputation —
+    /// results stay bit-identical — but keeps memory bounded on plants
+    /// where the pair count dwarfs the working set.
+    pub route_cache_capacity: usize,
 }
 
 impl Default for RwaConfig {
@@ -195,6 +315,7 @@ impl Default for RwaConfig {
             k_paths: 4,
             reach: ReachModel::default(),
             use_route_cache: true,
+            route_cache_capacity: 8_192,
         }
     }
 }
@@ -209,18 +330,81 @@ impl Default for RwaConfig {
 /// [`disjoint_pair`] construct a throwaway engine per call; long-lived
 /// callers (the controller) own one and amortise both the scratch buffers
 /// and the cache across requests.
-#[derive(Debug, Default)]
 pub struct PathEngine {
     scratch: DijkstraScratch,
     cache: std::collections::HashMap<(RoadmId, RoadmId, usize), CacheEntry>,
+    /// Monotonic access counter; every cache touch stamps the entry, so
+    /// LRU eviction has a deterministic total order regardless of hash
+    /// iteration order.
+    tick: u64,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    /// Installed (validated) region partition, if any.
+    region_map: Option<RegionMap>,
+}
+
+impl Default for PathEngine {
+    fn default() -> Self {
+        PathEngine {
+            scratch: DijkstraScratch::default(),
+            cache: std::collections::HashMap::new(),
+            tick: 0,
+            capacity: RwaConfig::default().route_cache_capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            region_map: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PathEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathEngine")
+            .field("cache_entries", &self.cache.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .field("evictions", &self.evictions)
+            .field("region_map", &self.region_map.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug)]
 struct CacheEntry {
     epoch: u64,
+    last_used: u64,
     paths: Vec<Vec<FiberId>>,
+}
+
+/// Route-cache occupancy and traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteCacheStats {
+    /// Queries served from the cache.
+    pub hits: u64,
+    /// Queries that had to run Yen's search.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+impl RouteCacheStats {
+    /// Hit rate in [0, 1]; 0 when no queries have been made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl PathEngine {
@@ -232,6 +416,99 @@ impl PathEngine {
     /// `(cache hits, cache misses)` since construction.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full route-cache counters (hits, misses, evictions, occupancy).
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.cache.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Publish the route-cache counters into a metrics family registry
+    /// (`rwa_route_cache_events_total{event=…}` counters plus
+    /// `rwa_route_cache_entries` / `_capacity` gauges). Adds the current
+    /// totals, so hand it a freshly scraped registry.
+    pub fn export_cache_metrics(&self, reg: &mut simcore::metrics::FamilyRegistry) {
+        let s = self.route_cache_stats();
+        reg.counter("rwa_route_cache_events_total", &[("event", "hit")])
+            .add(s.hits);
+        reg.counter("rwa_route_cache_events_total", &[("event", "miss")])
+            .add(s.misses);
+        reg.counter("rwa_route_cache_events_total", &[("event", "eviction")])
+            .add(s.evictions);
+        reg.gauge("rwa_route_cache_entries", &[])
+            .set(s.entries as f64);
+        reg.gauge("rwa_route_cache_capacity", &[])
+            .set(s.capacity as f64);
+    }
+
+    /// Bound the route cache to `capacity` resident entries (evicts
+    /// immediately if already above the new bound).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        if self.cache.len() > self.capacity {
+            // No live epoch in hand: treat every entry as current and
+            // evict purely by recency.
+            self.evict_to_fit(u64::MAX);
+        }
+    }
+
+    /// Install a region partition after proving the single-gateway
+    /// invariant against `net`; path search is then restricted to the
+    /// endpoint regions plus the backbone (identical results, smaller
+    /// search space — see [`RegionMap`]).
+    pub fn install_region_map(
+        &mut self,
+        net: &PhotonicNetwork,
+        map: RegionMap,
+    ) -> Result<(), String> {
+        map.validate(net)?;
+        self.region_map = Some(map);
+        Ok(())
+    }
+
+    /// The installed region partition, if any.
+    pub fn region_map(&self) -> Option<&RegionMap> {
+        self.region_map.as_ref()
+    }
+
+    /// A cold twin: empty scratch and cache, same capacity bound and
+    /// region partition. What controller fork/failover uses — derived
+    /// engine state is rebuilt on demand, configuration carries over.
+    pub fn fresh_like(&self) -> PathEngine {
+        PathEngine {
+            capacity: self.capacity,
+            region_map: self.region_map.clone(),
+            ..PathEngine::default()
+        }
+    }
+
+    /// Evict least-recently-used entries (stale-epoch entries first) so
+    /// at least one slot is free; evicts in batches of ⅛ capacity so the
+    /// O(entries) selection scan amortises across insertions.
+    fn evict_to_fit(&mut self, current_epoch: u64) {
+        let target = self.capacity.saturating_sub(self.capacity / 8).max(1) - 1;
+        if self.cache.len() <= target {
+            return;
+        }
+        let mut victims: Vec<(bool, u64, (RoadmId, RoadmId, usize))> = self
+            .cache
+            .iter()
+            .map(|(k, e)| (e.epoch == current_epoch, e.last_used, *k))
+            .collect();
+        // Stale entries first (`false < true`), then oldest tick. Ticks
+        // are unique, so the order — and therefore the evicted set — is
+        // deterministic regardless of hash iteration order.
+        victims.sort_unstable();
+        for (_, _, k) in victims.iter().take(self.cache.len() - target) {
+            self.cache.remove(k);
+            self.evictions += 1;
+        }
     }
 
     /// Yen's algorithm: up to `k` loop-free shortest paths by km,
@@ -248,18 +525,24 @@ impl PathEngine {
             return self.yen(net, from, to, k);
         }
         let epoch = net.topology_epoch();
-        if let Some(e) = self.cache.get(&(from, to, k)) {
+        self.tick += 1;
+        if let Some(e) = self.cache.get_mut(&(from, to, k)) {
             if e.epoch == epoch {
+                e.last_used = self.tick;
                 self.hits += 1;
                 return e.paths.clone();
             }
         }
         self.misses += 1;
         let paths = self.yen(net, from, to, k);
+        if self.cache.len() >= self.capacity && !self.cache.contains_key(&(from, to, k)) {
+            self.evict_to_fit(epoch);
+        }
         self.cache.insert(
             (from, to, k),
             CacheEntry {
                 epoch,
+                last_used: self.tick,
                 paths: paths.clone(),
             },
         );
@@ -280,8 +563,15 @@ impl PathEngine {
         use std::cmp::Reverse;
         use std::collections::{BinaryHeap, HashSet};
 
+        // Restrict the search to the endpoint regions + backbone when a
+        // partition is installed (field access keeps the borrow disjoint
+        // from the scratch buffers).
+        let allowed: RegionFilter<'_> = self
+            .region_map
+            .as_ref()
+            .map(|m| (m, m.region(from), m.region(to)));
         let mut result: Vec<Vec<FiberId>> = Vec::new();
-        let Some(first) = self.scratch.shortest_path(net, from, to, &[], &[]) else {
+        let Some(first) = self.scratch.shortest_path(net, from, to, &[], &[], allowed) else {
             return result;
         };
         // Every path ever generated (accepted or still a candidate):
@@ -308,10 +598,14 @@ impl PathEngine {
                 }
                 // Exclude root nodes to keep paths loop-free.
                 let excluded_nodes = &last_nodes[..spur_idx];
-                if let Some(spur) =
-                    self.scratch
-                        .shortest_path(net, spur_node, to, &excluded_fibers, excluded_nodes)
-                {
+                if let Some(spur) = self.scratch.shortest_path(
+                    net,
+                    spur_node,
+                    to,
+                    &excluded_fibers,
+                    excluded_nodes,
+                    allowed,
+                ) {
                     let mut total = root.to_vec();
                     total.extend(spur);
                     if !seen.contains(&total) {
@@ -350,8 +644,16 @@ impl PathEngine {
             self.k_shortest_paths(net, from, to, cfg.k_paths, cfg.use_route_cache)
         } else {
             // Route around exclusions: prune then search. (Not cached —
-            // the exclusion set is part of the query.)
-            match self.scratch.shortest_path(net, from, to, excluded, &[]) {
+            // the exclusion set is part of the query.) Exclusions only
+            // remove edges, so the region restriction stays exact.
+            let allowed: RegionFilter<'_> = self
+                .region_map
+                .as_ref()
+                .map(|m| (m, m.region(from), m.region(to)));
+            match self
+                .scratch
+                .shortest_path(net, from, to, excluded, &[], allowed)
+            {
                 Some(p) => vec![p],
                 None => Vec::new(),
             }
@@ -419,8 +721,16 @@ impl PathEngine {
         from: RoadmId,
         to: RoadmId,
     ) -> Option<(Vec<FiberId>, Vec<FiberId>)> {
-        let working = self.scratch.shortest_path(net, from, to, &[], &[])?;
-        let protect = self.scratch.shortest_path(net, from, to, &working, &[])?;
+        let allowed: RegionFilter<'_> = self
+            .region_map
+            .as_ref()
+            .map(|m| (m, m.region(from), m.region(to)));
+        let working = self
+            .scratch
+            .shortest_path(net, from, to, &[], &[], allowed)?;
+        let protect = self
+            .scratch
+            .shortest_path(net, from, to, &working, &[], allowed)?;
         Some((working, protect))
     }
 }
@@ -669,6 +979,149 @@ mod tests {
             let reused = engine.k_shortest_paths(&net, from, to, 4, false);
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn cache_stays_bounded_and_counts_evictions() {
+        let net = PhotonicNetwork::nsfnet(2, LineRate::Gbps10, 0);
+        let mut engine = PathEngine::new();
+        engine.set_cache_capacity(4);
+        let nodes: Vec<RoadmId> = net.roadm_ids().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b {
+                    engine.k_shortest_paths(&net, a, b, 2, true);
+                }
+            }
+        }
+        let s = engine.route_cache_stats();
+        assert!(s.entries <= 4, "{} entries exceed capacity", s.entries);
+        assert_eq!(s.capacity, 4);
+        assert!(s.evictions > 0, "14×13 pairs through 4 slots must evict");
+        assert_eq!(s.misses, 14 * 13, "distinct pairs all miss");
+        // Evicted-and-recomputed results still match a fresh engine.
+        let a = nodes[0];
+        let b = nodes[7];
+        assert_eq!(
+            engine.k_shortest_paths(&net, a, b, 2, true),
+            PathEngine::new().k_shortest_paths(&net, a, b, 2, false)
+        );
+    }
+
+    #[test]
+    fn eviction_prefers_stale_epochs_then_lru() {
+        let (mut net, ids) = PhotonicNetwork::testbed(2);
+        let mut engine = PathEngine::new();
+        engine.set_cache_capacity(2);
+        engine.k_shortest_paths(&net, ids.i, ids.iv, 1, true);
+        // Epoch bump makes the first entry stale.
+        net.fiber_mut(ids.f_i_iv);
+        engine.k_shortest_paths(&net, ids.i, ids.iii, 1, true);
+        engine.k_shortest_paths(&net, ids.i, ids.ii, 1, true); // evicts
+        let s = engine.route_cache_stats();
+        assert!(s.evictions >= 1);
+        assert!(s.entries <= 2);
+        // The live (i, iii) entry survived the stale-first policy.
+        engine.k_shortest_paths(&net, ids.i, ids.iii, 1, true);
+        assert!(engine.route_cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn cache_metrics_export_matches_stats() {
+        let (net, ids) = PhotonicNetwork::testbed(2);
+        let mut engine = PathEngine::new();
+        engine.k_shortest_paths(&net, ids.i, ids.iv, 2, true);
+        engine.k_shortest_paths(&net, ids.i, ids.iv, 2, true);
+        let mut reg = simcore::metrics::FamilyRegistry::new();
+        engine.export_cache_metrics(&mut reg);
+        let get = |event| {
+            reg.get_counter("rwa_route_cache_events_total", &[("event", event)])
+                .unwrap()
+                .get()
+        };
+        assert_eq!(get("hit"), 1);
+        assert_eq!(get("miss"), 1);
+        assert_eq!(get("eviction"), 0);
+        assert_eq!(
+            reg.get_gauge("rwa_route_cache_entries", &[]).unwrap().get(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn region_restricted_search_matches_global() {
+        let plant = photonic::generate(&photonic::GeneratorConfig::with_target_roadms(100, 21));
+        let map = RegionMap::new(plant.region_of.clone());
+        assert_eq!(map.validate(&plant.net), Ok(()));
+        let mut global = PathEngine::new();
+        let mut regional = PathEngine::new();
+        regional
+            .install_region_map(&plant.net, map)
+            .expect("valid map installs");
+        let cfg = RwaConfig::default();
+        // Intra-region, cross-region, and hub-terminated pairs.
+        let last = plant.interior.len() - 1;
+        let pairs = [
+            (plant.interior[0][0], plant.interior[0][4]),
+            (plant.interior[0][1], plant.interior[last][3]),
+            (plant.interior[last][2], plant.interior[0][5]),
+            (plant.gateways[0], plant.interior[last][0]),
+            (plant.gateways[0], plant.gateways[last]),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                regional.k_shortest_paths(&plant.net, a, b, 4, false),
+                global.k_shortest_paths(&plant.net, a, b, 4, false),
+                "restricted Yen diverged for {a}→{b}"
+            );
+            assert_eq!(
+                regional.plan_wavelength(&plant.net, &cfg, a, b, LineRate::Gbps10, &[]),
+                global.plan_wavelength(&plant.net, &cfg, a, b, LineRate::Gbps10, &[]),
+                "restricted plan diverged for {a}→{b}"
+            );
+            assert_eq!(
+                regional.disjoint_pair(&plant.net, a, b),
+                global.disjoint_pair(&plant.net, a, b),
+                "restricted disjoint pair diverged for {a}→{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_region_maps_are_rejected() {
+        let (net, _ids) = PhotonicNetwork::testbed(2);
+        let mut engine = PathEngine::new();
+        // Wrong coverage.
+        assert!(engine
+            .install_region_map(&net, RegionMap::new(vec![0, 0]))
+            .is_err());
+        // Two interiors directly linked (testbed is a mesh, any split of
+        // the four nodes into two regions crosses interiors somewhere).
+        assert!(engine
+            .install_region_map(&net, RegionMap::new(vec![0, 0, 1, 1]))
+            .is_err());
+        assert!(engine.region_map().is_none());
+    }
+
+    #[test]
+    fn fresh_like_keeps_config_drops_state() {
+        let plant = photonic::generate(&photonic::GeneratorConfig::with_target_roadms(14, 9));
+        let mut engine = PathEngine::new();
+        engine.set_cache_capacity(17);
+        engine
+            .install_region_map(&plant.net, RegionMap::new(plant.region_of.clone()))
+            .unwrap();
+        engine.k_shortest_paths(
+            &plant.net,
+            plant.interior[0][0],
+            plant.interior[0][1],
+            2,
+            true,
+        );
+        let twin = engine.fresh_like();
+        let s = twin.route_cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (0, 0, 0, 17));
+        assert!(twin.region_map().is_some());
     }
 
     #[test]

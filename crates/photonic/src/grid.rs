@@ -58,6 +58,15 @@ impl ChannelGrid {
         first_freq_ghz: 191_700,
     };
 
+    /// The 96-channel extended C-band grid used by the continental-scale
+    /// generated plants (the high end of deployed 50 GHz systems; still
+    /// comfortably inside the u128 occupancy-mask width).
+    pub const C_BAND_96: ChannelGrid = ChannelGrid {
+        channels: 96,
+        spacing_ghz: 50,
+        first_freq_ghz: 191_700,
+    };
+
     /// All wavelengths on this grid, in index order.
     pub fn wavelengths(&self) -> impl Iterator<Item = Wavelength> {
         (0..self.channels).map(Wavelength)

@@ -44,6 +44,7 @@ pub mod alarm;
 pub mod ems;
 pub mod fiber;
 pub mod fxc;
+pub mod generator;
 pub mod grid;
 pub mod power;
 pub mod reach;
@@ -56,6 +57,7 @@ pub use alarm::{Alarm, AlarmKind, AlarmSeverity};
 pub use ems::{EmsCommand, EmsLatencyModel, EmsProfile, WorkflowLedger};
 pub use fiber::{FiberId, FiberLink, FiberState, Span};
 pub use fxc::{Fxc, FxcId, FxcPort};
+pub use generator::{generate, GeneratedPlant, GeneratorConfig, REGION_BACKBONE};
 pub use grid::{ChannelGrid, LineRate, Wavelength};
 pub use power::EqualizationModel;
 pub use reach::ReachModel;

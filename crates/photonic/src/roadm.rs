@@ -392,6 +392,21 @@ impl Roadm {
         self.lambda_use.iter().map(|((d, w), u)| (*d, *w, *u))
     }
 
+    /// Estimated heap bytes behind this node: degree tables, occupancy
+    /// masks, add/drop ports, and the per-λ usage maps (B-tree nodes
+    /// approximated at 32 bytes of overhead per entry). A capacity-planning
+    /// estimate, not an allocator measurement.
+    pub fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        self.degrees.capacity() * size_of::<FiberId>()
+            + self.degree_masks.capacity() * size_of::<u128>()
+            + self.ports.capacity() * size_of::<AddDropPort>()
+            + self.lambda_use.len()
+                * (size_of::<(DegreeId, Wavelength)>() + size_of::<LambdaUse>() + 32)
+            + self.port_config.len()
+                * (size_of::<PortId>() + size_of::<(Wavelength, DegreeId)>() + 32)
+    }
+
     fn check_degree(&self, d: DegreeId) -> Result<(), RoadmError> {
         if d.index() < self.degrees.len() {
             Ok(())

@@ -55,7 +55,13 @@ impl std::fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// The photonic plant under one carrier's control.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Debug` is implemented by hand (not derived) so that the derived
+/// per-node equipment indices below stay out of the output: controller
+/// state digests hash `format!("{net:?}")`, and the indices are pure
+/// caches over `transponders`/`regens` that must not perturb digests
+/// pinned by golden files.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct PhotonicNetwork {
     /// Channel plan shared by all line systems.
     pub grid: ChannelGrid,
@@ -81,6 +87,40 @@ pub struct PhotonicNetwork {
     /// changed (new links/nodes, any `fiber_mut` access). Route caches key
     /// on it, making invalidation a plain equality check.
     topology_epoch: u64,
+    /// Transponders installed at each node, indexed by [`RoadmId`] —
+    /// keeps [`PhotonicNetwork::idle_ots_at`] O(node's pool) instead of
+    /// O(all transponders) on continental plants. Derived state, kept in
+    /// lockstep with `transponders`; excluded from `Debug`.
+    #[serde(default)]
+    ots_by_node: Vec<Vec<TransponderId>>,
+    /// Regens installed at each node, indexed by [`RoadmId`] — same
+    /// role as `ots_by_node` for [`PhotonicNetwork::free_regens_at`].
+    #[serde(default)]
+    regens_by_node: Vec<Vec<RegenId>>,
+}
+
+// Field-for-field replica of the derived `Debug` for the fields that
+// existed before the per-node indices were added. Byte-identical output
+// matters: `Controller::write_state_digest` feeds this into the state
+// CRC, and golden artifacts pin those CRCs.
+impl std::fmt::Debug for PhotonicNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhotonicNetwork")
+            .field("grid", &self.grid)
+            .field("roadms", &self.roadms)
+            .field("names", &self.names)
+            .field("fibers", &self.fibers)
+            .field("transponders", &self.transponders)
+            .field("ot_ports", &self.ot_ports)
+            .field("regens", &self.regens)
+            .field("fxcs", &self.fxcs)
+            .field("muxponders", &self.muxponders)
+            .field("adj_off", &self.adj_off)
+            .field("adj_edges", &self.adj_edges)
+            .field("fiber_degrees", &self.fiber_degrees)
+            .field("topology_epoch", &self.topology_epoch)
+            .finish()
+    }
 }
 
 impl PhotonicNetwork {
@@ -100,6 +140,8 @@ impl PhotonicNetwork {
             adj_edges: Vec::new(),
             fiber_degrees: Vec::new(),
             topology_epoch: 0,
+            ots_by_node: Vec::new(),
+            regens_by_node: Vec::new(),
         }
     }
 
@@ -110,6 +152,8 @@ impl PhotonicNetwork {
         let id = RoadmId::from_index(self.roadms.len());
         self.roadms.push(Roadm::new(id, self.grid));
         self.names.push(name.into());
+        self.ots_by_node.push(Vec::new());
+        self.regens_by_node.push(Vec::new());
         // An isolated node has no edges: extend the offset array in place.
         self.adj_off.push(*self.adj_off.last().unwrap());
         self.topology_epoch += 1;
@@ -173,6 +217,7 @@ impl PhotonicNetwork {
         self.roadms[node.index()].attach_transponder(port, id);
         self.transponders.push(Transponder::new(id, node, rate));
         self.ot_ports.push((node, port));
+        self.ots_by_node[node.index()].push(id);
         Ok(id)
     }
 
@@ -191,6 +236,7 @@ impl PhotonicNetwork {
         self.check_roadm(node)?;
         let id = RegenId::from_index(self.regens.len());
         self.regens.push(Regen::new(id, node, rate));
+        self.regens_by_node[node.index()].push(id);
         Ok(id)
     }
 
@@ -293,6 +339,51 @@ impl PhotonicNetwork {
     /// Number of installed transponders.
     pub fn transponder_count(&self) -> usize {
         self.transponders.len()
+    }
+    /// Total amplified spans across all fiber links.
+    pub fn span_count(&self) -> usize {
+        self.fibers.iter().map(|f| f.spans.len()).sum()
+    }
+
+    /// Estimated heap bytes behind the whole plant — node tables, fiber
+    /// spans, equipment pools, CSR adjacency, and the per-node equipment
+    /// indices. Used by the scale benchmark's memory column; an estimate
+    /// for capacity planning, not an allocator measurement.
+    pub fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let roadm_heap: usize = self.roadms.iter().map(Roadm::memory_footprint).sum();
+        let span_heap: usize = self
+            .fibers
+            .iter()
+            .map(|f| f.spans.capacity() * size_of::<crate::fiber::Span>())
+            .sum();
+        let name_heap: usize = self.names.iter().map(String::capacity).sum();
+        let index_heap: usize = self
+            .ots_by_node
+            .iter()
+            .map(|v| v.capacity() * size_of::<TransponderId>())
+            .sum::<usize>()
+            + self
+                .regens_by_node
+                .iter()
+                .map(|v| v.capacity() * size_of::<RegenId>())
+                .sum::<usize>();
+        self.roadms.capacity() * size_of::<Roadm>()
+            + roadm_heap
+            + self.names.capacity() * size_of::<String>()
+            + name_heap
+            + self.fibers.capacity() * size_of::<FiberLink>()
+            + span_heap
+            + self.transponders.capacity() * size_of::<Transponder>()
+            + self.ot_ports.capacity() * size_of::<(RoadmId, PortId)>()
+            + self.regens.capacity() * size_of::<Regen>()
+            + self.fxcs.capacity() * size_of::<Fxc>()
+            + self.muxponders.capacity() * size_of::<Muxponder>()
+            + self.adj_off.capacity() * size_of::<u32>()
+            + self.adj_edges.capacity() * size_of::<(FiberId, RoadmId)>()
+            + self.fiber_degrees.capacity() * size_of::<(DegreeId, DegreeId)>()
+            + (self.ots_by_node.capacity() + self.regens_by_node.capacity()) * size_of::<Vec<u32>>()
+            + index_heap
     }
     /// All node ids.
     pub fn roadm_ids(&self) -> impl Iterator<Item = RoadmId> {
@@ -424,20 +515,32 @@ impl PhotonicNetwork {
     }
 
     /// Idle transponders of `rate` installed at `node`.
+    ///
+    /// Served from the per-node index (insertion order == id order, so
+    /// results match the historical full-pool scan exactly) — O(node's
+    /// pool), not O(all transponders), which matters once plants reach
+    /// hundreds of nodes.
     pub fn idle_ots_at(&self, node: RoadmId, rate: LineRate) -> Vec<TransponderId> {
-        self.transponders
+        self.ots_by_node[node.index()]
             .iter()
-            .filter(|t| t.location == node && t.rate == rate && t.is_idle())
-            .map(|t| t.id)
+            .copied()
+            .filter(|&id| {
+                let t = &self.transponders[id.index()];
+                t.rate == rate && t.is_idle()
+            })
             .collect()
     }
 
-    /// Free regens of `rate` at `node`.
+    /// Free regens of `rate` at `node` (per-node index; see
+    /// [`PhotonicNetwork::idle_ots_at`] for the ordering argument).
     pub fn free_regens_at(&self, node: RoadmId, rate: LineRate) -> Vec<RegenId> {
-        self.regens
+        self.regens_by_node[node.index()]
             .iter()
-            .filter(|r| r.location == node && r.rate == rate && !r.in_use)
-            .map(|r| r.id)
+            .copied()
+            .filter(|&id| {
+                let r = &self.regens[id.index()];
+                r.rate == rate && !r.in_use
+            })
             .collect()
     }
 

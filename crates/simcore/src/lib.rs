@@ -66,8 +66,8 @@ pub mod units;
 
 pub use codec::{crc32c, crc32c_reference, CodecError, Crc32c, CrcWriter, Decoder, Encoder};
 pub use metrics::{
-    Counter, CounterSample, FamilyRegistry, Gauge, GaugeSample, Histogram, HistogramSample,
-    LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,
+    Counter, CounterSample, FamilyRegistry, Footprint, Gauge, GaugeSample, Histogram,
+    HistogramSample, LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,
 };
 pub use queue::{EventId, Scheduler};
 pub use rng::SimRng;

@@ -332,6 +332,12 @@ impl LatencyRecorder {
         self.samples_ns.len()
     }
 
+    /// The raw samples, in recording order — lets callers merge several
+    /// recorders (e.g. per-shard) before taking percentiles.
+    pub fn samples_ns(&self) -> &[u64] {
+        &self.samples_ns
+    }
+
     /// Nearest-rank percentile in nanoseconds (`p` in 0..=100).
     /// Returns 0 with no samples.
     pub fn percentile_ns(&self, p: f64) -> u64 {
@@ -734,6 +740,52 @@ impl FamilyRegistry {
     /// [`snapshot`](FamilyRegistry::snapshot) serialized as pretty JSON.
     pub fn snapshot_json(&self) -> String {
         serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
+    }
+}
+
+/// An itemised memory-footprint estimate: labelled byte counts that sum
+/// to a total. Subsystems report their estimated heap usage into one of
+/// these (plant tables, route cache, scheduler queue, …) so scale
+/// benchmarks can publish a per-component memory column. Estimates, not
+/// allocator measurements — the point is relative growth across plant
+/// sizes, not absolute RSS.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Footprint {
+    items: Vec<(String, u64)>,
+}
+
+impl Footprint {
+    /// An empty footprint.
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Add a labelled byte count.
+    pub fn add(&mut self, label: impl Into<String>, bytes: u64) {
+        self.items.push((label.into(), bytes));
+    }
+
+    /// The labelled items, in insertion order.
+    pub fn items(&self) -> &[(String, u64)] {
+        &self.items
+    }
+
+    /// Sum of all items in bytes.
+    pub fn total(&self) -> u64 {
+        self.items.iter().map(|(_, b)| b).sum()
+    }
+
+    /// One `label: N KiB` line per item plus a total line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, bytes) in &self.items {
+            out.push_str(&format!("  {label}: {:.1} KiB\n", *bytes as f64 / 1024.0));
+        }
+        out.push_str(&format!(
+            "  total: {:.1} KiB\n",
+            self.total() as f64 / 1024.0
+        ));
+        out
     }
 }
 

@@ -200,6 +200,22 @@ fn different_seed_different_jitter() {
     }
 }
 
+/// Sharding is pure scheduling: driving the scale workload's cells with
+/// 1, 2, or 8 worker threads must produce byte-identical per-cell state
+/// digests on a mid-size (~100-ROADM) generated plant. Each cell owns
+/// its controller, `parallel_cells_with` merges results in input order,
+/// and nothing a cell computes may depend on which worker ran it.
+#[test]
+fn sharded_execution_matches_unsharded_digests() {
+    let seed = 0xD1CE;
+    let one = griphon_bench::scale_target::shard_digests(100, seed, 1);
+    let two = griphon_bench::scale_target::shard_digests(100, seed, 2);
+    let eight = griphon_bench::scale_target::shard_digests(100, seed, 8);
+    assert!(!one.is_empty(), "the plant must yield workload cells");
+    assert_eq!(one, two, "2-thread digests diverged from unsharded");
+    assert_eq!(one, eight, "8-thread digests diverged from unsharded");
+}
+
 #[test]
 fn workload_generation_is_seed_stable() {
     use cloud::workload::{WorkloadConfig, WorkloadGenerator};

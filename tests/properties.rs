@@ -662,3 +662,113 @@ proptest! {
         prop_assert!((whole - split).abs() <= tol, "{} vs {}", whole, split);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The plant generator is a pure function of its config: the same
+    /// seed and shape must produce a byte-identical plant (Debug output
+    /// covers the full topology: grid, ROADMs, fibers, spans, pools).
+    #[test]
+    fn generator_same_seed_byte_identical(
+        seed in any::<u64>(),
+        regions in 1usize..6,
+        rings in 1usize..3,
+        ring_size in 1usize..5,
+    ) {
+        let cfg = photonic::GeneratorConfig {
+            seed,
+            regions,
+            metro_rings_per_region: rings,
+            metro_ring_size: ring_size,
+            ..photonic::GeneratorConfig::default_shape(seed)
+        };
+        let a = photonic::generate(&cfg);
+        let b = photonic::generate(&cfg);
+        prop_assert_eq!(format!("{:?}", a.net), format!("{:?}", b.net));
+        prop_assert_eq!(&a.region_of, &b.region_of);
+        prop_assert_eq!(&a.gateways, &b.gateways);
+    }
+
+    /// Every generated plant is connected (any node reaches node 0),
+    /// whatever the tier parameters.
+    #[test]
+    fn generator_plant_is_connected(
+        seed in any::<u64>(),
+        regions in 1usize..8,
+        rings in 1usize..4,
+        ring_size in 1usize..6,
+    ) {
+        let cfg = photonic::GeneratorConfig {
+            seed,
+            regions,
+            metro_rings_per_region: rings,
+            metro_ring_size: ring_size,
+            ..photonic::GeneratorConfig::default_shape(seed)
+        };
+        let plant = photonic::generate(&cfg);
+        let n = plant.net.roadm_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![photonic::RoadmId::from_index(0)];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(node) = stack.pop() {
+            for &(_, next) in plant.net.neighbors(node) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    reached += 1;
+                    stack.push(next);
+                }
+            }
+        }
+        prop_assert_eq!(reached, n, "plant must be one component");
+    }
+
+    /// The channel plan never exceeds the u128 occupancy masks: whatever
+    /// `channels` is requested, the built grid is clamped to 80–96 and so
+    /// always fits in 128 bits per degree.
+    #[test]
+    fn generator_channels_fit_occupancy_masks(
+        seed in any::<u64>(),
+        channels in 0u16..1_000,
+    ) {
+        let cfg = photonic::GeneratorConfig {
+            seed,
+            channels,
+            ..photonic::GeneratorConfig::with_target_roadms(14, seed)
+        };
+        let plant = photonic::generate(&cfg);
+        prop_assert!((80..=96).contains(&plant.net.grid.channels));
+        prop_assert!(plant.net.grid.channels <= 128);
+    }
+
+    /// Span auto-splitting: every fiber is cut into `ceil(km / 80)` equal
+    /// spans, and the fiber/link count matches the closed-form shape
+    /// formula for the tier parameters.
+    #[test]
+    fn generator_span_counts_match_tier_params(
+        seed in any::<u64>(),
+        regions in 1usize..7,
+        rings in 1usize..3,
+        ring_size in 1usize..5,
+    ) {
+        let cfg = photonic::GeneratorConfig {
+            seed,
+            regions,
+            metro_rings_per_region: rings,
+            metro_ring_size: ring_size,
+            ..photonic::GeneratorConfig::default_shape(seed)
+        };
+        let plant = photonic::generate(&cfg);
+        prop_assert_eq!(plant.net.fiber_count(), cfg.link_count());
+        prop_assert_eq!(plant.net.roadm_count(), cfg.node_count());
+        for f in plant.net.fiber_ids() {
+            let fiber = plant.net.fiber(f);
+            let want = (fiber.length_km() / 80.0).ceil().max(1.0) as usize;
+            prop_assert_eq!(
+                fiber.spans.len(), want,
+                "fiber {:?} of {:.1} km", f, fiber.length_km()
+            );
+        }
+    }
+}
