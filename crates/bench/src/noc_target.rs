@@ -62,7 +62,7 @@ pub const BACKBONE_WEEK_FAULTS: &str = r#"{
 }"#;
 
 /// Scrape cadence for both scenarios (seconds of sim time).
-const SCRAPE_SECS: u64 = 60;
+pub const SCRAPE_SECS: u64 = 60;
 
 /// One replayed scenario with its NOC state extracted.
 pub struct Outcome {

@@ -222,6 +222,12 @@ pub const TARGETS: &[Target] = &[
         run: noc,
     },
     Target {
+        name: "slo",
+        about: "writes BENCH_slo.json + slo_exposition.txt (error budgets, burn alerts, exemplars)",
+        category: Category::Observability,
+        run: slo,
+    },
+    Target {
         name: "ha",
         about: "writes BENCH_ha.json (WAL, snapshots, crash-point failover)",
         category: Category::Durability,
@@ -263,6 +269,10 @@ fn trace() -> String {
 
 fn noc() -> String {
     crate::noc_target::emit("BENCH_noc.json", "noc_exposition.txt")
+}
+
+fn slo() -> String {
+    crate::slo_target::emit("BENCH_slo.json", "slo_exposition.txt")
 }
 
 fn ha() -> String {

@@ -86,6 +86,15 @@ pub struct ScalePoint {
     pub cache_evictions: u64,
     /// Cache hit rate in [0, 1].
     pub cache_hit_rate: f64,
+    /// Live route-cache entries summed over cells at run end.
+    pub cache_entries: usize,
+    /// Route-cache capacity summed over cells.
+    pub cache_capacity: usize,
+    /// Trace-ring events dropped across cells (must be 0 — silent
+    /// saturation fails the run).
+    pub trace_dropped: u64,
+    /// Spans dropped by the recorders across cells (must be 0).
+    pub span_dropped: u64,
     /// Estimated controller heap footprint in bytes (one cell).
     pub memory_bytes: u64,
     /// CRC-32C over the concatenated per-cell digests.
@@ -127,6 +136,8 @@ struct CellOutcome {
     accepted: usize,
     cache: griphon::RouteCacheStats,
     memory_bytes: u64,
+    trace_dropped: u64,
+    span_dropped: u64,
 }
 
 /// Deterministic per-region intent lists: `HOT_PAIRS` endpoint pairs
@@ -216,6 +227,8 @@ fn run_cell(plant: &GeneratedPlant, cell: &Cell, seed: u64) -> CellOutcome {
         accepted,
         cache,
         memory_bytes: memory.total(),
+        trace_dropped: ctl.trace.dropped(),
+        span_dropped: ctl.spans.dropped(),
     }
 }
 
@@ -266,7 +279,19 @@ fn run_point(target: usize, threads: usize, out: &mut String) -> ScalePoint {
     let cache_hits: u64 = unsharded.iter().map(|o| o.cache.hits).sum();
     let cache_misses: u64 = unsharded.iter().map(|o| o.cache.misses).sum();
     let cache_evictions: u64 = unsharded.iter().map(|o| o.cache.evictions).sum();
+    let cache_entries: usize = unsharded.iter().map(|o| o.cache.entries).sum();
+    let cache_capacity: usize = unsharded.iter().map(|o| o.cache.capacity).sum();
     let accepted: usize = unsharded.iter().map(|o| o.accepted).sum();
+    let trace_dropped: u64 = unsharded.iter().map(|o| o.trace_dropped).sum::<u64>()
+        + sharded.iter().map(|o| o.trace_dropped).sum::<u64>();
+    let span_dropped: u64 = unsharded.iter().map(|o| o.span_dropped).sum::<u64>()
+        + sharded.iter().map(|o| o.span_dropped).sum::<u64>();
+    assert_eq!(
+        (trace_dropped, span_dropped),
+        (0, 0),
+        "telemetry silently saturated at {target} ROADMs: \
+         {trace_dropped} trace events / {span_dropped} spans dropped"
+    );
     let point = ScalePoint {
         roadms: plant.net.roadm_count(),
         fibers: plant.net.fiber_count(),
@@ -289,6 +314,10 @@ fn run_point(target: usize, threads: usize, out: &mut String) -> ScalePoint {
         } else {
             cache_hits as f64 / (cache_hits + cache_misses) as f64
         },
+        cache_entries,
+        cache_capacity,
+        trace_dropped,
+        span_dropped,
         memory_bytes: unsharded.iter().map(|o| o.memory_bytes).max().unwrap_or(0),
         combined_digest_crc: combined,
         sharded_identical: identical,
@@ -296,7 +325,7 @@ fn run_point(target: usize, threads: usize, out: &mut String) -> ScalePoint {
     out.push_str(&format!(
         "[{:>3} roadms] {} fibers / {} spans / {} regions | p50 {} µs p99 {} µs | \
          {:.0}→{:.0} intents/s ({} threads) | cache {:.0}% hit | {:.1} MiB | \
-         sharded vs unsharded digests: identical (crc 0x{:08x})\n",
+         telemetry drops: 0 | sharded vs unsharded digests: identical (crc 0x{:08x})\n",
         point.roadms,
         point.fibers,
         point.spans,

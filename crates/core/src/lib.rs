@@ -64,6 +64,7 @@ pub mod planning;
 pub mod protection;
 pub mod rwa;
 pub mod sla;
+pub mod slo;
 pub mod tenant;
 
 pub use bod::{Bundle, BundleId, Decomposition};
@@ -78,5 +79,6 @@ pub use inventory::InventorySnapshot;
 pub use layers::{Layer, LayerStack, ServiceCategory};
 pub use noc::{Noc, RootCause};
 pub use rwa::{RegionMap, RouteCacheStats, RwaConfig, RwaError, WavelengthPlan};
-pub use sla::{nines, SlaReport};
+pub use sla::{nines, nines_value, SlaReport, MAX_NINES};
+pub use slo::{BurnAlert, SloEngine, SloSpec, SloStatus, TelemetryRollup};
 pub use tenant::{CustomerId, TenantRegistry};

@@ -302,6 +302,37 @@ impl Noc {
             .record(secs);
     }
 
+    /// An SLO burn-rate alert fired. Attribute it to the most recent
+    /// root-cause domain already open at `at` — the fault whose fallout
+    /// the burning error budget is measuring — and count it as an
+    /// alarm-grade event in the families. Returns the attributed cause
+    /// (`None` when no fault predates the alert: a burn with no known
+    /// physical trigger is itself worth surfacing, as `cause="unknown"`).
+    pub fn on_slo_alert(
+        &mut self,
+        slo: &str,
+        severity: &'static str,
+        at: SimTime,
+    ) -> Option<RootCause> {
+        if !self.enabled {
+            return None;
+        }
+        let attributed = self
+            .domains
+            .iter()
+            .filter(|(_, d)| d.injected_at <= at)
+            .max_by_key(|(c, d)| (d.injected_at, **c))
+            .map(|(c, _)| *c);
+        let cause = attributed.map_or("unknown", |c| c.cause_label());
+        self.families
+            .counter(
+                "noc_slo_alerts_total",
+                &[("cause", cause), ("severity", severity), ("slo", slo)],
+            )
+            .incr();
+        attributed
+    }
+
     // ── reporting ───────────────────────────────────────────────────
 
     /// All root-cause domains, in deterministic order.
@@ -665,6 +696,49 @@ mod tests {
         let dash = noc.dashboard();
         assert!(dash.contains("fiber7 cut"), "{dash}");
         assert!(dash.contains("suppressed=5"), "{dash}");
+    }
+
+    #[test]
+    fn slo_alerts_attribute_to_latest_open_domain() {
+        let mut noc = Noc::new();
+        noc.enable(SimDuration::from_secs(60));
+        // No fault yet: the alert is surfaced but unattributed.
+        assert_eq!(
+            noc.on_slo_alert("availability", "page", SimTime::from_secs(5)),
+            None
+        );
+        noc.on_fault_injected(RootCause::FiberCut(3), SimTime::from_secs(10));
+        noc.on_fault_injected(RootCause::OtFault(8), SimTime::from_secs(40));
+        // Alert between the two faults → the fiber cut owns it.
+        assert_eq!(
+            noc.on_slo_alert("availability", "page", SimTime::from_secs(20)),
+            Some(RootCause::FiberCut(3))
+        );
+        // Alert after both → the most recent fault owns it.
+        assert_eq!(
+            noc.on_slo_alert("setup_latency_p99", "ticket", SimTime::from_secs(90)),
+            Some(RootCause::OtFault(8))
+        );
+        let exp = noc.families.expose();
+        assert!(
+            exp.contains(
+                "noc_slo_alerts_total{cause=\"unknown\",severity=\"page\",slo=\"availability\"} 1"
+            ),
+            "{exp}"
+        );
+        assert!(
+            exp.contains(
+                "noc_slo_alerts_total{cause=\"fiber_cut\",severity=\"page\",slo=\"availability\"} 1"
+            ),
+            "{exp}"
+        );
+        // Disabled NOCs ignore alerts entirely.
+        let mut off = Noc::new();
+        assert_eq!(
+            off.on_slo_alert("availability", "page", SimTime::ZERO),
+            None
+        );
+        assert!(off.families.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! GRIPhoN's minute-scale restoration keeps the same month above
 //! 99.99 % (experiment-visible via these reports).
 
-use simcore::SimDuration;
+use simcore::{FamilyRegistry, SimDuration};
 
 use crate::connection::{ConnState, ConnectionId};
 use crate::controller::Controller;
@@ -33,10 +33,52 @@ pub struct SlaReport {
     /// Per-connection rows (non-terminal and released connections that
     /// ever activated).
     pub connections: Vec<ConnectionAvailability>,
+    /// Rows with a non-zero observation window — only these can carry
+    /// availability evidence.
+    pub observed: usize,
     /// Service-time-weighted aggregate availability.
     pub aggregate: f64,
-    /// The worst row's availability (SLAs bind on the worst circuit).
+    /// The worst *observed* row's availability (SLAs bind on the worst
+    /// circuit, but a zero-length window is no evidence of perfection
+    /// or failure and is excluded).
     pub worst: f64,
+}
+
+impl SlaReport {
+    /// Publish the report into `reg` as labeled gauges, so the SLO
+    /// engine and the fleet rollup consume SLA evidence through the
+    /// same metrics pipeline as everything else. Gauge semantics: each
+    /// export overwrites the previous scrape's values.
+    pub fn export(&self, customer: &str, reg: &mut FamilyRegistry) {
+        for (scope, avail) in [("aggregate", self.aggregate), ("worst", self.worst)] {
+            reg.gauge(
+                "sla_availability",
+                &[("customer", customer), ("scope", scope)],
+            )
+            .set(avail);
+            reg.gauge("sla_nines", &[("customer", customer), ("scope", scope)])
+                .set(nines_value(avail));
+        }
+        reg.gauge("sla_connections", &[("customer", customer)])
+            .set(self.connections.len() as f64);
+        reg.gauge("sla_observed_connections", &[("customer", customer)])
+            .set(self.observed as f64);
+        let downtime: f64 = self
+            .connections
+            .iter()
+            .map(|r| r.downtime.as_secs_f64())
+            .sum();
+        reg.gauge("sla_downtime_seconds", &[("customer", customer)])
+            .set(downtime);
+        for row in &self.connections {
+            let conn = row.id.to_string();
+            reg.gauge(
+                "sla_connection_availability",
+                &[("conn", &conn), ("customer", customer)],
+            )
+            .set(row.availability);
+        }
+    }
 }
 
 impl Controller {
@@ -80,25 +122,50 @@ impl Controller {
         } else {
             (1.0 - total_down / total_service).clamp(0.0, 1.0)
         };
-        let worst = rows.iter().map(|r| r.availability).fold(1.0f64, f64::min);
+        let worst = rows
+            .iter()
+            .filter(|r| !r.in_service.is_zero())
+            .map(|r| r.availability)
+            .fold(1.0f64, f64::min);
+        let observed = rows.iter().filter(|r| !r.in_service.is_zero()).count();
         SlaReport {
             connections: rows,
+            observed,
             aggregate,
             worst,
         }
     }
 }
 
-/// Format an availability as "N nines" shorthand (e.g. 0.9995 → "3.3
-/// nines").
-pub fn nines(availability: f64) -> String {
+/// Cap on the nine count: beyond nine nines the float arithmetic of
+/// `1 − downtime/lifetime` has no resolution left, so higher values are
+/// reported as "at least nine" rather than as a meaningless magnitude
+/// (or the old `∞`, which JSON consumers could not parse).
+pub const MAX_NINES: f64 = 9.0;
+
+/// The availability's nine count as a finite float in `[0, MAX_NINES]`
+/// (0.9995 → 3.3; exactly 1.0 → `MAX_NINES`). This is the numeric form
+/// exported as the `sla_nines` gauge.
+pub fn nines_value(availability: f64) -> f64 {
     if availability >= 1.0 {
-        return "∞ nines".to_string();
+        return MAX_NINES;
     }
     if availability <= 0.0 {
-        return "0 nines".to_string();
+        return 0.0;
     }
-    format!("{:.1} nines", -(1.0 - availability).log10())
+    (-(1.0 - availability).log10()).clamp(0.0, MAX_NINES)
+}
+
+/// Format an availability as "N nines" shorthand (e.g. 0.9995 → "3.3
+/// nines"). Values at or above the [`MAX_NINES`] measurement cap render
+/// as "9.0+ nines".
+pub fn nines(availability: f64) -> String {
+    let n = nines_value(availability);
+    if n >= MAX_NINES {
+        "9.0+ nines".to_string()
+    } else {
+        format!("{n:.1} nines")
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +256,96 @@ mod tests {
     }
 
     #[test]
+    fn worst_excludes_zero_window_rows() {
+        let (net, ids) = PhotonicNetwork::testbed(4);
+        let mut ctl = Controller::new(
+            net,
+            ControllerConfig {
+                auto_restore: false,
+                ..quiet()
+            },
+        );
+        let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
+        let _a = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let t0 = ctl.now();
+        ctl.inject_fiber_cut(ids.f_i_iv, 0);
+        ctl.run_until(t0 + SimDuration::from_hours(2));
+        // A second circuit on an unaffected path whose activation instant
+        // *is* the report instant: zero observation window.
+        let b = ctl
+            .request_wavelength(csp, ids.i, ids.ii, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let row_b = ctl.connection_availability(b).unwrap();
+        assert!(row_b.in_service.is_zero(), "b must be freshly activated");
+        let report = ctl.sla_report(csp);
+        assert_eq!(report.connections.len(), 2);
+        assert_eq!(report.observed, 1, "zero-window row carries no evidence");
+        assert!(
+            report.worst < 1.0,
+            "worst must come from the observed circuit, not the fresh one"
+        );
+    }
+
+    #[test]
+    fn report_exports_as_labeled_gauges() {
+        let (net, ids) = PhotonicNetwork::testbed(4);
+        let mut ctl = Controller::new(
+            net,
+            ControllerConfig {
+                auto_restore: false,
+                ..quiet()
+            },
+        );
+        let csp = ctl.tenants.register("acme", DataRate::from_gbps(100));
+        let _id = ctl
+            .request_wavelength(csp, ids.i, ids.iv, LineRate::Gbps10)
+            .unwrap();
+        ctl.run_until_idle();
+        let t0 = ctl.now();
+        ctl.inject_fiber_cut(ids.f_i_iv, 0);
+        ctl.run_until(t0 + SimDuration::from_hours(2));
+        let report = ctl.sla_report(csp);
+        let mut reg = simcore::FamilyRegistry::new();
+        report.export("acme", &mut reg);
+        let agg = reg
+            .get_gauge(
+                "sla_availability",
+                &[("customer", "acme"), ("scope", "aggregate")],
+            )
+            .unwrap()
+            .get();
+        assert!((agg - report.aggregate).abs() < 1e-15);
+        let nines_worst = reg
+            .get_gauge("sla_nines", &[("customer", "acme"), ("scope", "worst")])
+            .unwrap()
+            .get();
+        assert!((nines_worst - nines_value(report.worst)).abs() < 1e-15);
+        assert_eq!(
+            reg.get_gauge("sla_connections", &[("customer", "acme")])
+                .unwrap()
+                .get(),
+            1.0
+        );
+        let exp = reg.expose();
+        assert!(
+            exp.contains("sla_connection_availability{conn=\"conn0\",customer=\"acme\"}"),
+            "{exp}"
+        );
+        // Re-export overwrites (gauge semantics), it does not accumulate.
+        report.export("acme", &mut reg);
+        assert_eq!(reg.expose(), exp);
+    }
+
+    #[test]
     fn nines_formatting() {
         assert_eq!(nines(0.999), "3.0 nines");
         assert_eq!(nines(0.99999), "5.0 nines");
-        assert_eq!(nines(1.0), "∞ nines");
-        assert_eq!(nines(0.0), "0 nines");
+        assert_eq!(nines(1.0), "9.0+ nines");
+        assert_eq!(nines(0.0), "0.0 nines");
         assert!(nines(0.9995).starts_with("3.3"));
     }
 
@@ -203,13 +355,28 @@ mod tests {
         assert_eq!(nines(0.9999), "4.0 nines");
         assert_eq!(nines(0.999999), "6.0 nines");
         // Values outside [0, 1] saturate rather than produce NaN/−∞ text.
-        assert_eq!(nines(1.5), "∞ nines");
-        assert_eq!(nines(-0.25), "0 nines");
-        // Just below 1.0 stays finite (no log-of-zero blowup).
-        let just_below = nines(1.0 - f64::EPSILON);
-        assert!(just_below.ends_with("nines") && !just_below.starts_with('∞'));
+        assert_eq!(nines(1.5), "9.0+ nines");
+        assert_eq!(nines(-0.25), "0.0 nines");
+        // Just below 1.0 stays finite and hits the measurement cap (no
+        // log-of-zero blowup, no unparseable ∞).
+        assert_eq!(nines(1.0 - f64::EPSILON), "9.0+ nines");
         // Just above 0.0 is a tiny but non-negative nine count.
         assert_eq!(nines(0.1), "0.0 nines");
+    }
+
+    #[test]
+    fn nines_value_is_finite_and_monotone() {
+        for a in [-1.0, 0.0, 0.5, 0.999, 0.999999999, 1.0, 2.0] {
+            let n = nines_value(a);
+            assert!(
+                n.is_finite() && (0.0..=MAX_NINES).contains(&n),
+                "{a} -> {n}"
+            );
+        }
+        assert_eq!(nines_value(1.0), MAX_NINES);
+        assert_eq!(nines_value(0.0), 0.0);
+        assert!(nines_value(0.9999) > nines_value(0.999));
+        assert!((nines_value(0.999) - 3.0).abs() < 1e-9);
     }
 
     /// An outage whose restoration completes *between* two NOC scrape

@@ -66,12 +66,14 @@ pub mod units;
 
 pub use codec::{crc32c, crc32c_reference, CodecError, Crc32c, CrcWriter, Decoder, Encoder};
 pub use metrics::{
-    Counter, CounterSample, FamilyRegistry, Footprint, Gauge, GaugeSample, Histogram,
+    Counter, CounterSample, Exemplar, FamilyRegistry, Footprint, Gauge, GaugeSample, Histogram,
     HistogramSample, LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,
 };
 pub use queue::{EventId, Scheduler};
 pub use rng::SimRng;
-pub use span::{AttrValue, Span, SpanId, SpanRecorder};
+pub use span::{
+    AttrValue, Span, SpanId, SpanRecorder, TailSampleConfig, TailSampleStats, TailSampler,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};
 pub use units::{DataRate, DataSize};

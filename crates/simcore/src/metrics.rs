@@ -79,6 +79,124 @@ impl Gauge {
             0.0
         }
     }
+
+    /// Fold another gauge into this one: the other gauge's value wins
+    /// (last-writer semantics, matching how a fleet rollup absorbs a
+    /// cell's final sample) and the high-water mark is the max of both.
+    /// A never-set `other` leaves `self` untouched.
+    pub fn merge_from(&mut self, other: &Gauge) {
+        if !other.seen {
+            return;
+        }
+        self.max_seen = if self.seen {
+            self.max_seen.max(other.max_seen)
+        } else {
+            other.max_seen
+        };
+        self.value = other.value;
+        self.seen = true;
+    }
+}
+
+/// One exemplar: an observed value linked back to the span (trace) that
+/// produced it, plus the labels that identify where it came from. The
+/// OpenMetrics idea — every latency bucket can name the exact trace
+/// behind its tail — realised deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: f64,
+    /// Id of the span that produced the observation (a tail-sampled,
+    /// globally remapped id — see `simcore::span::TailSampler`).
+    pub span_id: u64,
+    /// Labels identifying the origin (e.g. `region`).
+    pub labels: LabelSet,
+}
+
+/// SplitMix64 finaliser — the same mixer `SimRng` seeds with.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A bounded, deterministic exemplar reservoir using bottom-k hashing:
+/// every observation gets a priority that is a pure hash of
+/// `(seed, value, span id, labels)`, and the reservoir keeps the k
+/// smallest priorities. Selection is therefore *content-addressed* —
+/// independent of arrival order and of how observations were sharded —
+/// so merging per-cell reservoirs yields byte-identical exemplars to a
+/// single-stream run with the same seed (proptested in
+/// `tests/properties.rs`).
+#[derive(Debug, Clone, PartialEq)]
+struct ExemplarReservoir {
+    seed: u64,
+    capacity: usize,
+    /// Ascending by `(priority, span_id, value bits)`; at most
+    /// `capacity` entries.
+    entries: Vec<(u64, Exemplar)>,
+}
+
+impl ExemplarReservoir {
+    fn new(seed: u64, capacity: usize) -> Self {
+        ExemplarReservoir {
+            seed,
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn priority(&self, ex: &Exemplar) -> u64 {
+        let mut h = mix64(self.seed ^ ex.value.to_bits());
+        h = mix64(h ^ ex.span_id);
+        for (k, v) in &ex.labels {
+            for b in k.bytes().chain(v.bytes()) {
+                h = mix64(h ^ u64::from(b));
+            }
+        }
+        h
+    }
+
+    fn sort_key(pr: u64, ex: &Exemplar) -> (u64, u64, u64) {
+        (pr, ex.span_id, ex.value.to_bits())
+    }
+
+    fn insert(&mut self, pr: u64, ex: Exemplar) {
+        let key = Self::sort_key(pr, &ex);
+        let pos = self
+            .entries
+            .partition_point(|(p, e)| Self::sort_key(*p, e) < key);
+        self.entries.insert(pos, (pr, ex));
+        self.entries.truncate(self.capacity);
+    }
+
+    fn offer(&mut self, ex: Exemplar) {
+        let pr = self.priority(&ex);
+        self.insert(pr, ex);
+    }
+
+    /// Union-then-truncate: because priorities are stored, merging is
+    /// exactly "offer every entry again", and bottom-k of a union equals
+    /// bottom-k of bottom-k's.
+    fn merge(&mut self, other: &ExemplarReservoir) {
+        self.capacity = self.capacity.max(other.capacity);
+        for (pr, ex) in &other.entries {
+            self.insert(*pr, ex.clone());
+        }
+    }
+
+    /// Exemplars in display order: value descending (the tail first),
+    /// span id ascending on ties.
+    fn exemplars(&self) -> Vec<&Exemplar> {
+        let mut v: Vec<&Exemplar> = self.entries.iter().map(|(_, e)| e).collect();
+        v.sort_by(|a, b| {
+            b.value
+                .total_cmp(&a.value)
+                .then_with(|| a.span_id.cmp(&b.span_id))
+        });
+        v
+    }
 }
 
 const BUCKETS_PER_DECADE: usize = 16;
@@ -94,6 +212,9 @@ pub struct Histogram {
     /// bucket index -> count; index derived from log10 of the value.
     buckets: BTreeMap<i32, u64>,
     zeros: u64,
+    /// Deterministic exemplar reservoir; absent (and free) unless
+    /// [`Histogram::enable_exemplars`] was called.
+    exemplars: Option<Box<ExemplarReservoir>>,
 }
 
 /// Same as [`Histogram::new`]. (A derived `Default` would zero `min`,
@@ -116,7 +237,54 @@ impl Histogram {
             max: f64::NEG_INFINITY,
             buckets: BTreeMap::new(),
             zeros: 0,
+            exemplars: None,
         }
+    }
+
+    /// Attach a deterministic bottom-k exemplar reservoir (see
+    /// [`Exemplar`]): subsequent [`record_linked`](Self::record_linked) /
+    /// [`link_exemplar`](Self::link_exemplar) calls may keep up to
+    /// `capacity` exemplars, selected purely by a hash of
+    /// `(seed, value, span id, labels)` so the kept set is independent of
+    /// arrival order and sharding.
+    pub fn enable_exemplars(&mut self, seed: u64, capacity: usize) {
+        self.exemplars = Some(Box::new(ExemplarReservoir::new(seed, capacity)));
+    }
+
+    /// Is an exemplar reservoir attached?
+    pub fn exemplars_enabled(&self) -> bool {
+        self.exemplars.is_some()
+    }
+
+    /// Record an observation *and* offer it to the exemplar reservoir
+    /// (a no-op link when exemplars are not enabled).
+    pub fn record_linked(&mut self, v: f64, span_id: u64, labels: &[(&str, &str)]) {
+        self.record(v);
+        self.link_exemplar(v, span_id, labels);
+    }
+
+    /// Offer an exemplar for an observation that was already recorded —
+    /// the path tail samplers use: the histogram sees *every* root span's
+    /// duration via [`record`](Self::record), while only the retained
+    /// traces are offered as exemplars so every kept exemplar links to a
+    /// span that still exists.
+    pub fn link_exemplar(&mut self, v: f64, span_id: u64, labels: &[(&str, &str)]) {
+        if let Some(res) = self.exemplars.as_mut() {
+            res.offer(Exemplar {
+                value: v,
+                span_id,
+                labels: canon_labels(labels),
+            });
+        }
+    }
+
+    /// Kept exemplars in display order (value descending, span id
+    /// ascending on ties); empty when exemplars are disabled.
+    pub fn exemplars(&self) -> Vec<&Exemplar> {
+        self.exemplars
+            .as_deref()
+            .map(ExemplarReservoir::exemplars)
+            .unwrap_or_default()
     }
 
     fn bucket_of(v: f64) -> i32 {
@@ -221,6 +389,12 @@ impl Histogram {
         }
         for (b, c) in &other.buckets {
             *self.buckets.entry(*b).or_insert(0) += c;
+        }
+        if let Some(theirs) = other.exemplars.as_deref() {
+            match self.exemplars.as_deref_mut() {
+                Some(ours) => ours.merge(theirs),
+                None => self.exemplars = Some(Box::new(theirs.clone())),
+            }
         }
     }
 }
@@ -638,6 +812,56 @@ impl FamilyRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Merge another registry into this one: counters add, histograms
+    /// [`merge`](Histogram::merge) (including exemplar reservoirs), and
+    /// gauges fold via [`Gauge::merge_from`]. Children are matched by
+    /// `(name, label set)`.
+    pub fn merge_from(&mut self, other: &FamilyRegistry) {
+        self.merge_with_extra(other, None);
+    }
+
+    /// Merge another registry while appending one extra label to every
+    /// absorbed child — the per-region rollup primitive: a cell's
+    /// registry comes in unlabeled and lands in the fleet view as
+    /// `...{region="3"}`. Panics if a child already carries `key`.
+    pub fn merge_labeled(&mut self, other: &FamilyRegistry, key: &str, value: &str) {
+        self.merge_with_extra(other, Some((key, value)));
+    }
+
+    fn merge_with_extra(&mut self, other: &FamilyRegistry, extra: Option<(&str, &str)>) {
+        let relabel = |labels: &LabelSet| -> LabelSet {
+            let Some((k, v)) = extra else {
+                return labels.clone();
+            };
+            let mut out = labels.clone();
+            assert!(
+                out.iter().all(|(ek, _)| ek != k),
+                "merge_labeled: child already carries label key {k:?}"
+            );
+            let pos = out.partition_point(|(ek, _)| ek.as_str() < k);
+            out.insert(pos, (k.to_string(), v.to_string()));
+            out
+        };
+        for (name, children) in &other.counters {
+            let fam = self.counters.entry(name.clone()).or_default();
+            for (labels, c) in children {
+                fam.entry(relabel(labels)).or_default().add(c.get());
+            }
+        }
+        for (name, children) in &other.gauges {
+            let fam = self.gauges.entry(name.clone()).or_default();
+            for (labels, g) in children {
+                fam.entry(relabel(labels)).or_default().merge_from(g);
+            }
+        }
+        for (name, children) in &other.histograms {
+            let fam = self.histograms.entry(name.clone()).or_default();
+            for (labels, h) in children {
+                fam.entry(relabel(labels)).or_default().merge(h);
+            }
+        }
+    }
+
     /// Prometheus-style text exposition. Counter families come first, then
     /// gauges, then histograms (as summaries with `quantile` labels plus
     /// `_sum`/`_count`); families sort by name and children by label set.
@@ -686,6 +910,27 @@ impl FamilyRegistry {
                     render_labels(labels, None),
                     h.count()
                 ));
+                // OpenMetrics-style exemplars: one line per kept
+                // exemplar, value-descending, carrying the span id that
+                // links the observation back to its retained trace.
+                // Only present when the histogram enabled exemplars, so
+                // pre-existing expositions are byte-unchanged.
+                for ex in h.exemplars() {
+                    let mut all = labels.clone();
+                    for (k, v) in &ex.labels {
+                        if !all.iter().any(|(ek, _)| ek == k) {
+                            all.push((k.clone(), v.clone()));
+                        }
+                    }
+                    all.sort();
+                    out.push_str(&format!(
+                        "{name}_count{} {} # {{span_id=\"{}\"}} {}\n",
+                        render_labels(&all, None),
+                        h.count(),
+                        ex.span_id,
+                        ex.value
+                    ));
+                }
             }
         }
         out
@@ -1032,6 +1277,124 @@ mod tests {
             snap.histograms[0].labels,
             vec![("l".to_string(), "v".to_string())]
         );
+    }
+
+    #[test]
+    fn exemplar_reservoir_is_order_and_shard_independent() {
+        let obs: Vec<(f64, u64)> = (0..40).map(|i| (10.0 + i as f64, 1000 + i)).collect();
+        let single = {
+            let mut h = Histogram::new();
+            h.enable_exemplars(7, 4);
+            for (v, id) in &obs {
+                h.record_linked(*v, *id, &[("region", "0")]);
+            }
+            h
+        };
+        // Same observations, reversed order, sharded into three
+        // histograms then merged.
+        let mut shards = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for s in &mut shards {
+            s.enable_exemplars(7, 4);
+        }
+        for (i, (v, id)) in obs.iter().enumerate().rev() {
+            shards[i % 3].record_linked(*v, *id, &[("region", "0")]);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), single.count());
+        let a: Vec<Exemplar> = single.exemplars().into_iter().cloned().collect();
+        let b: Vec<Exemplar> = merged.exemplars().into_iter().cloned().collect();
+        assert_eq!(a, b, "bottom-k selection must not depend on sharding");
+        assert_eq!(a.len(), 4);
+        // A different seed keeps different exemplars.
+        let mut other = Histogram::new();
+        other.enable_exemplars(8, 4);
+        for (v, id) in &obs {
+            other.record_linked(*v, *id, &[("region", "0")]);
+        }
+        let c: Vec<Exemplar> = other.exemplars().into_iter().cloned().collect();
+        assert_ne!(a, c, "seed must steer the reservoir");
+    }
+
+    #[test]
+    fn link_exemplar_does_not_record() {
+        let mut h = Histogram::new();
+        h.enable_exemplars(1, 2);
+        h.record(5.0);
+        h.link_exemplar(5.0, 42, &[]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.exemplars()[0].span_id, 42);
+        // Without a reservoir the link is a free no-op.
+        let mut plain = Histogram::new();
+        plain.link_exemplar(5.0, 42, &[]);
+        assert!(plain.exemplars().is_empty());
+    }
+
+    #[test]
+    fn expose_emits_exemplar_lines_only_when_enabled() {
+        let mut f = FamilyRegistry::new();
+        f.histogram("lat_seconds", &[("region", "2")]).record(1.0);
+        assert!(!f.expose().contains("span_id"), "no exemplars by default");
+        let h = f.histogram("lat_seconds", &[("region", "2")]);
+        h.enable_exemplars(3, 2);
+        h.link_exemplar(1.0, 9, &[]);
+        let exp = f.expose();
+        assert!(
+            exp.contains("lat_seconds_count{region=\"2\"} 1 # {span_id=\"9\"} 1\n"),
+            "{exp}"
+        );
+    }
+
+    #[test]
+    fn registry_merge_labeled_equals_direct_recording() {
+        let mut cell = FamilyRegistry::new();
+        cell.counter("reqs_total", &[("kind", "setup")]).add(3);
+        cell.gauge("inflight", &[]).set(2.0);
+        cell.histogram("lat", &[]).record(4.0);
+        let mut fleet = FamilyRegistry::new();
+        fleet.merge_labeled(&cell, "region", "3");
+        fleet.merge_labeled(&cell, "region", "4");
+        let mut direct = FamilyRegistry::new();
+        for r in ["3", "4"] {
+            direct
+                .counter("reqs_total", &[("kind", "setup"), ("region", r)])
+                .add(3);
+            direct.gauge("inflight", &[("region", r)]).set(2.0);
+            direct.histogram("lat", &[("region", r)]).record(4.0);
+        }
+        assert_eq!(fleet.expose(), direct.expose());
+        // Unlabeled merge accumulates instead.
+        let mut sum = FamilyRegistry::new();
+        sum.merge_from(&cell);
+        sum.merge_from(&cell);
+        assert_eq!(sum.counter_family_total("reqs_total"), 6);
+        assert_eq!(sum.get_histogram("lat", &[]).unwrap().count(), 2);
+        assert_eq!(sum.get_gauge("inflight", &[]).unwrap().get(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries label key")]
+    fn merge_labeled_rejects_duplicate_region_key() {
+        let mut cell = FamilyRegistry::new();
+        cell.counter("c", &[("region", "1")]).incr();
+        FamilyRegistry::new().merge_labeled(&cell, "region", "2");
+    }
+
+    #[test]
+    fn gauge_merge_from_semantics() {
+        let mut a = Gauge::new();
+        a.set(5.0);
+        a.set(1.0);
+        let mut b = Gauge::new();
+        b.set(3.0);
+        a.merge_from(&b);
+        assert_eq!(a.get(), 3.0, "other's value wins");
+        assert_eq!(a.max_seen(), 5.0, "high-water is the max of both");
+        let untouched = Gauge::new();
+        a.merge_from(&untouched);
+        assert_eq!(a.get(), 3.0, "never-set gauges merge as no-ops");
     }
 
     #[test]

@@ -552,6 +552,198 @@ pub fn latency_from_attr(spans: &[Span], name: &str, key: &str) -> LatencyRecord
     rec
 }
 
+// ── Deterministic tail sampling ─────────────────────────────────────────
+
+/// Configuration of a [`TailSampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct TailSampleConfig {
+    /// Width of the sampling window; root spans are bucketed by
+    /// `start / window`. A zero window puts every root in one bucket.
+    pub window: SimDuration,
+    /// Slowest root traces kept per (root name, window) bucket.
+    pub keep_slowest: usize,
+    /// Roots at least this slow are *always* kept, beyond `keep_slowest`
+    /// — SLO violators must never be sampled away.
+    pub slow_threshold: Option<SimDuration>,
+}
+
+impl Default for TailSampleConfig {
+    fn default() -> Self {
+        TailSampleConfig {
+            window: SimDuration::from_mins(5),
+            keep_slowest: 4,
+            slow_threshold: None,
+        }
+    }
+}
+
+/// Counters describing one sampler's lifetime (exact, not estimates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailSampleStats {
+    /// Closed root spans ingested.
+    pub roots_seen: u64,
+    /// Root traces currently retained.
+    pub roots_kept: u64,
+    /// Retained roots that crossed `slow_threshold`.
+    pub violators_kept: u64,
+    /// Total spans ingested (roots plus descendants).
+    pub spans_seen: u64,
+    /// Spans currently retained.
+    pub spans_kept: u64,
+    /// Roots discarded because they were never closed.
+    pub open_roots_dropped: u64,
+}
+
+struct KeptRoot {
+    spans: Vec<Span>,
+    duration: SimDuration,
+}
+
+/// Keeps the slowest-N and every SLO-violating root trace per window,
+/// dropping the rest — the release valve that stops a bounded
+/// [`SpanRecorder`] from silently saturating on long fleet-scale runs.
+///
+/// Feed it the batches a periodic [`SpanRecorder::take_spans`] drain
+/// produces. Batch-local ids (dense, restarting at 0 per drain) are
+/// remapped onto one global id space, and whole trees are kept or
+/// dropped together, so parent links inside every retained trace stay
+/// valid. Selection is a pure function of the ingested spans: eviction
+/// removes the minimum `(duration, global id)` root, so the survivors
+/// are independent of batch boundaries and thread count.
+pub struct TailSampler {
+    config: TailSampleConfig,
+    next_id: u32,
+    kept: BTreeMap<u32, KeptRoot>,
+    /// Non-violator survivors per (root name, window index).
+    buckets: BTreeMap<(&'static str, u64), Vec<u32>>,
+    roots_seen: u64,
+    violators_kept: u64,
+    spans_seen: u64,
+    open_roots_dropped: u64,
+}
+
+impl TailSampler {
+    /// A sampler with the given retention policy.
+    pub fn new(config: TailSampleConfig) -> TailSampler {
+        TailSampler {
+            config,
+            next_id: 0,
+            kept: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            roots_seen: 0,
+            violators_kept: 0,
+            spans_seen: 0,
+            open_roots_dropped: 0,
+        }
+    }
+
+    fn window_index(&self, start: SimTime) -> u64 {
+        // A zero window means one global bucket.
+        start
+            .as_nanos()
+            .checked_div(self.config.window.as_nanos())
+            .unwrap_or(0)
+    }
+
+    /// Ingest one drained batch (dense batch-local ids, parents before
+    /// children — exactly what [`SpanRecorder::take_spans`] yields).
+    pub fn ingest(&mut self, batch: &[Span]) {
+        let base = self.next_id;
+        self.next_id += batch.len() as u32;
+        self.spans_seen += batch.len() as u64;
+        // Root of every batch-local index (parents precede children).
+        let mut root_of = vec![0usize; batch.len()];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); batch.len()];
+        for (i, s) in batch.iter().enumerate() {
+            debug_assert_eq!(s.id.index(), i, "batches must carry dense ids");
+            match s.parent {
+                Some(p) => {
+                    root_of[i] = root_of[p.index()];
+                    children[root_of[i]].push(i);
+                }
+                None => root_of[i] = i,
+            }
+        }
+        for (i, root) in batch.iter().enumerate() {
+            if root.parent.is_some() {
+                continue;
+            }
+            let Some(dur) = root.duration() else {
+                self.open_roots_dropped += 1;
+                continue;
+            };
+            self.roots_seen += 1;
+            let gid = base + i as u32;
+            let violator = self
+                .config
+                .slow_threshold
+                .is_some_and(|thr| dur >= thr && !thr.is_zero());
+            if !violator && self.config.keep_slowest == 0 {
+                continue;
+            }
+            let remap = |idx: usize| SpanId(base + idx as u32);
+            let mut spans = Vec::with_capacity(1 + children[i].len());
+            for &idx in std::iter::once(&i).chain(children[i].iter()) {
+                let mut s = batch[idx].clone();
+                s.id = remap(idx);
+                s.parent = s.parent.map(|p| remap(p.index()));
+                spans.push(s);
+            }
+            self.kept.insert(
+                gid,
+                KeptRoot {
+                    spans,
+                    duration: dur,
+                },
+            );
+            if violator {
+                self.violators_kept += 1;
+                continue;
+            }
+            let key = (root.name, self.window_index(root.start));
+            let bucket = self.buckets.entry(key).or_default();
+            bucket.push(gid);
+            if bucket.len() > self.config.keep_slowest {
+                // Evict the fastest survivor; gid breaks exact ties so
+                // the choice is total regardless of arrival order.
+                let evict_at = (0..bucket.len())
+                    .min_by_key(|&j| (self.kept[&bucket[j]].duration, bucket[j]))
+                    .expect("bucket is non-empty");
+                let evicted = bucket.swap_remove(evict_at);
+                self.kept.remove(&evicted);
+            }
+        }
+    }
+
+    /// The retained traces, flattened in global-id order (each root
+    /// immediately followed by its descendants). Ids are globally unique
+    /// but no longer dense, so [`validate`] does not apply to the output.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.kept
+            .into_values()
+            .flat_map(|k| k.spans.into_iter())
+            .collect()
+    }
+
+    /// Global ids of the retained roots, ascending — the linkage set
+    /// exemplar `span_id`s are checked against.
+    pub fn kept_root_ids(&self) -> Vec<u64> {
+        self.kept.keys().map(|&gid| gid as u64).collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TailSampleStats {
+        TailSampleStats {
+            roots_seen: self.roots_seen,
+            roots_kept: self.kept.len() as u64,
+            violators_kept: self.violators_kept,
+            spans_seen: self.spans_seen,
+            spans_kept: self.kept.values().map(|k| k.spans.len() as u64).sum(),
+            open_roots_dropped: self.open_roots_dropped,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -682,6 +874,86 @@ mod tests {
         }
         let derived = latency_from_attr(r.spans(), "rwa.plan", "host_ns");
         assert_eq!(derived.summary(), direct.summary());
+    }
+
+    fn root_with_child(r: &mut SpanRecorder, start: u64, dur: u64) -> SpanId {
+        let root = r.open(t(start), "conn", "conn.setup", None);
+        r.record(t(start), t(start + dur), "phase", "phase.roadm", Some(root));
+        r.close(root, t(start + dur));
+        root
+    }
+
+    #[test]
+    fn tail_sampler_keeps_slowest_and_violators() {
+        let mut rec = SpanRecorder::new(64);
+        // Four roots in one window: durations 1, 9, 5, 30 s.
+        for dur in [1u64, 9, 5, 30] {
+            root_with_child(&mut rec, 10, dur);
+        }
+        let mut sampler = TailSampler::new(TailSampleConfig {
+            window: SimDuration::from_mins(5),
+            keep_slowest: 2,
+            slow_threshold: Some(SimDuration::from_secs(25)),
+        });
+        sampler.ingest(&rec.take_spans());
+        let stats = sampler.stats();
+        assert_eq!(stats.roots_seen, 4);
+        assert_eq!(stats.violators_kept, 1, "30 s root crosses the threshold");
+        assert_eq!(stats.roots_kept, 3, "violator + two slowest survivors");
+        assert_eq!(stats.spans_kept, 6);
+        // 1 s root (gid 0) evicted; 9 s (gid 2), 5 s (gid 4), 30 s (gid 6) kept.
+        assert_eq!(sampler.kept_root_ids(), vec![2, 4, 6]);
+        let spans = sampler.into_spans();
+        assert_eq!(spans.len(), 6);
+        assert_eq!(spans[0].id.index(), 2);
+        assert_eq!(spans[1].parent, Some(spans[0].id), "links survive remap");
+    }
+
+    #[test]
+    fn tail_sampler_is_batch_boundary_independent() {
+        let build = |splits: &[usize]| {
+            let mut sampler = TailSampler::new(TailSampleConfig {
+                window: SimDuration::from_secs(60),
+                keep_slowest: 3,
+                slow_threshold: Some(SimDuration::from_secs(40)),
+            });
+            let mut rec = SpanRecorder::new(1024);
+            let durs = [7u64, 3, 50, 11, 11, 2, 45, 9, 1, 30];
+            for (i, dur) in durs.iter().enumerate() {
+                root_with_child(&mut rec, (i as u64) * 70, *dur);
+                if splits.contains(&i) {
+                    sampler.ingest(&rec.take_spans());
+                }
+            }
+            sampler.ingest(&rec.take_spans());
+            let stats = sampler.stats();
+            let spans = sampler.into_spans();
+            (stats, spans)
+        };
+        let (s1, spans1) = build(&[]);
+        let (s2, spans2) = build(&[0, 3, 4, 7]);
+        assert_eq!(s1, s2);
+        assert_eq!(spans1, spans2, "drain cadence must not change survivors");
+        assert_eq!(s1.roots_seen, 10);
+        assert_eq!(s1.violators_kept, 2);
+    }
+
+    #[test]
+    fn tail_sampler_drops_open_roots_and_handles_zero_window() {
+        let mut rec = SpanRecorder::new(16);
+        rec.open(t(0), "conn", "conn.setup", None); // never closed
+        root_with_child(&mut rec, 1_000_000, 5);
+        root_with_child(&mut rec, 2_000_000, 9);
+        let mut sampler = TailSampler::new(TailSampleConfig {
+            window: SimDuration::ZERO,
+            keep_slowest: 1,
+            slow_threshold: None,
+        });
+        sampler.ingest(&rec.take_spans());
+        let stats = sampler.stats();
+        assert_eq!(stats.open_roots_dropped, 1);
+        assert_eq!(stats.roots_kept, 1, "zero window = one global bucket");
+        assert_eq!(sampler.kept_root_ids(), vec![3], "9 s root wins");
     }
 
     #[test]

@@ -232,3 +232,31 @@ fn workload_generation_is_seed_stable() {
     assert_eq!(jobs(9), jobs(9));
     assert_ne!(jobs(9), jobs(10));
 }
+
+/// Observing the fleet must not change it: per-cell state digests of
+/// the SLO workload are byte-identical with spans + metrics + tail
+/// sampling enabled and with all telemetry off.
+#[test]
+fn telemetry_is_observationally_passive() {
+    let seed = griphon_bench::slo_target::point_seed(14);
+    let off = griphon_bench::slo_target::telemetry_digests(14, seed, 2, false);
+    let on = griphon_bench::slo_target::telemetry_digests(14, seed, 2, true);
+    assert!(!off.is_empty(), "the plant must yield workload cells");
+    assert_eq!(
+        off, on,
+        "enabling telemetry changed controller state digests"
+    );
+}
+
+/// Tail sampling and the per-region rollup are pure functions of the
+/// ingested spans: cell digests *and* the fleet exposition text must be
+/// byte-identical for 1, 2, and 8 worker threads.
+#[test]
+fn fleet_telemetry_is_thread_independent() {
+    let seed = griphon_bench::slo_target::point_seed(14);
+    let one = griphon_bench::slo_target::fleet_fingerprint(14, seed, 1);
+    let two = griphon_bench::slo_target::fleet_fingerprint(14, seed, 2);
+    let eight = griphon_bench::slo_target::fleet_fingerprint(14, seed, 8);
+    assert_eq!(one, two, "2-thread fleet telemetry diverged");
+    assert_eq!(one, eight, "8-thread fleet telemetry diverged");
+}

@@ -772,3 +772,124 @@ proptest! {
         }
     }
 }
+
+// ── fleet observability plane (PR 8) ────────────────────────────────
+
+proptest! {
+    /// Exemplar selection is content-addressed (bottom-k over a seeded
+    /// hash of each observation), so merging per-shard histograms must
+    /// yield exactly the exemplar set of one histogram that saw every
+    /// observation — however the observations are split across shards.
+    #[test]
+    fn exemplar_reservoir_is_sharding_independent(
+        obs in prop::collection::vec((0u16..2_000, any::<u64>()), 1..80),
+        cuts in prop::collection::vec(0usize..80, 0..6),
+        seed in any::<u64>(),
+        cap in 1usize..6,
+    ) {
+        let mut single = Histogram::new();
+        single.enable_exemplars(seed, cap);
+        for &(v, span) in &obs {
+            single.record_linked(v as f64, span, &[]);
+        }
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % obs.len()).collect();
+        bounds.push(0);
+        bounds.push(obs.len());
+        bounds.sort_unstable();
+        let mut merged = Histogram::new();
+        merged.enable_exemplars(seed, cap);
+        for w in bounds.windows(2) {
+            let mut shard = Histogram::new();
+            shard.enable_exemplars(seed, cap);
+            for &(v, span) in &obs[w[0]..w[1]] {
+                shard.record_linked(v as f64, span, &[]);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(single.exemplars(), merged.exemplars());
+        prop_assert_eq!(single.count(), merged.count());
+    }
+
+    /// The engine's burn rate over a window `(now − w, now]` equals the
+    /// brute-force count over the same half-open interval, including at
+    /// exact window boundaries.
+    #[test]
+    fn burn_rate_matches_brute_force_window(
+        events in prop::collection::vec((0u64..5_000, any::<bool>()), 1..120),
+        now_secs in 0u64..6_000,
+        w_mins in 1u64..90,
+    ) {
+        let mut events = events;
+        events.sort_unstable();
+        let objective = 0.99;
+        let mut eng = griphon::SloEngine::new(vec![griphon::SloSpec {
+            name: "avail",
+            objective,
+            threshold_secs: 0.0,
+        }]);
+        for &(t, good) in &events {
+            eng.observe("avail", "s", SimTime::from_secs(t), good);
+        }
+        let now = SimTime::from_secs(now_secs);
+        let w = SimDuration::from_mins(w_mins);
+        let got = eng.burn_rate("avail", "s", now, w);
+
+        let lo = now_secs.saturating_sub(w_mins * 60);
+        let in_window: Vec<bool> = events
+            .iter()
+            .filter(|&&(t, _)| t > lo && t <= now_secs)
+            .map(|&(_, good)| good)
+            .collect();
+        let want = if in_window.is_empty() {
+            0.0
+        } else {
+            let bad = in_window.iter().filter(|g| !**g).count() as f64;
+            (bad / in_window.len() as f64) / (1.0 - objective)
+        };
+        prop_assert!(
+            (got - want).abs() < 1e-9,
+            "burn {} vs brute force {}", got, want
+        );
+    }
+
+    /// Absorbing per-region registries into a rollup is equivalent to
+    /// recording every sample into one registry with the region label
+    /// attached directly — merge must not invent or lose anything.
+    #[test]
+    fn rollup_absorb_matches_direct_recording(
+        samples in prop::collection::vec(
+            (0usize..4, 0usize..3, 1u64..100), 1..60,
+        ),
+    ) {
+        use simcore::metrics::FamilyRegistry;
+        let mut direct = FamilyRegistry::new();
+        let mut per_region: std::collections::BTreeMap<usize, FamilyRegistry> =
+            std::collections::BTreeMap::new();
+        for &(region, metric, v) in &samples {
+            let r = format!("region{region}");
+            let cell = per_region.entry(region).or_default();
+            match metric {
+                0 => {
+                    cell.counter("ops_total", &[]).add(v);
+                    direct.counter("ops_total", &[("region", &r)]).add(v);
+                }
+                1 => {
+                    cell.gauge("depth", &[]).set(v as f64);
+                    direct.gauge("depth", &[("region", &r)]).set(v as f64);
+                }
+                _ => {
+                    cell.histogram("lat_seconds", &[]).record(v as f64);
+                    direct
+                        .histogram("lat_seconds", &[("region", &r)])
+                        .record(v as f64);
+                }
+            }
+        }
+        let mut rollup = griphon::TelemetryRollup::new();
+        for (region, cell) in &per_region {
+            rollup.absorb(&format!("region{region}"), cell);
+        }
+        prop_assert_eq!(rollup.expose(), direct.expose());
+    }
+}
