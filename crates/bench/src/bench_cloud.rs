@@ -70,6 +70,8 @@ pub struct Comparison {
 /// The full report serialised to `BENCH_cloud.json`.
 #[derive(Serialize)]
 pub struct CloudReport {
+    /// Common `BENCH_*.json` header.
+    pub header: crate::bench_json::BenchHeader,
     /// Report name, fixed to `bench_cloud`.
     pub benchmark: String,
     /// Simulated horizon, days.
@@ -245,6 +247,7 @@ pub fn run() -> CloudReport {
     );
 
     CloudReport {
+        header: crate::bench_json::BenchHeader::new("bench-cloud", "default"),
         benchmark: "bench_cloud".to_string(),
         horizon_days: HORIZON_DAYS,
         tick_secs: TICK_SECS,

@@ -21,6 +21,35 @@ use griphon::rwa::{PathEngine, RwaConfig};
 use photonic::{DegreeId, LineRate, PhotonicNetwork, Wavelength};
 use serde::Serialize;
 
+/// Version of the common `BENCH_*.json` header. Bump when the header
+/// shape changes; consumers comparing reports across PRs key on it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The common header stamped onto every `BENCH_*.json` this workspace
+/// emits, so the cross-PR perf trajectory is machine-comparable: a
+/// harvester can group files by `target`, check `schema_version`, and
+/// refuse to compare runs of different `sweep` profiles.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchHeader {
+    /// Header schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The `repro` target that wrote the file.
+    pub target: String,
+    /// Sweep/config profile of the run (`full`, `reduced`, `default`).
+    pub sweep: String,
+}
+
+impl BenchHeader {
+    /// Header for `target` under sweep profile `sweep`.
+    pub fn new(target: &str, sweep: &str) -> BenchHeader {
+        BenchHeader {
+            schema_version: BENCH_SCHEMA_VERSION,
+            target: target.to_string(),
+            sweep: sweep.to_string(),
+        }
+    }
+}
+
 /// One timed case: mean wall time per call over `iters` calls.
 #[derive(Serialize)]
 pub struct BenchCase {
@@ -50,6 +79,8 @@ pub struct Comparison {
 /// The full report serialised to `BENCH_rwa.json`.
 #[derive(Serialize)]
 pub struct BenchReport {
+    /// Common `BENCH_*.json` header.
+    pub header: BenchHeader,
     /// Report name, fixed to `bench_rwa`.
     pub benchmark: String,
     /// Topology the cases run on.
@@ -172,6 +203,7 @@ pub fn run() -> BenchReport {
     });
 
     BenchReport {
+        header: BenchHeader::new("bench-rwa", "default"),
         benchmark: "bench_rwa".to_string(),
         network: "nsfnet_80ch".to_string(),
         comparisons: vec![

@@ -146,6 +146,8 @@ pub struct RecoverBench {
 /// The machine-readable report written to `BENCH_wal.json`.
 #[derive(Serialize)]
 pub struct WalReport {
+    /// Common `BENCH_*.json` header.
+    pub header: crate::bench_json::BenchHeader,
     /// Report name, fixed to `wal`.
     pub benchmark: String,
     /// Worker threads used for parallel decode (`REPRO_THREADS` aware).
@@ -447,6 +449,7 @@ pub fn build() -> WalReport {
     }
 
     WalReport {
+        header: crate::bench_json::BenchHeader::new("bench-wal", "default"),
         benchmark: "wal".to_string(),
         threads,
         crc,

@@ -128,6 +128,8 @@ pub struct CadencePoint {
 /// The machine-readable report written to `BENCH_ha.json`.
 #[derive(Serialize)]
 pub struct HaReport {
+    /// Common `BENCH_*.json` header.
+    pub header: crate::bench_json::BenchHeader,
     /// Report name, fixed to `ha`.
     pub benchmark: String,
     /// Shipping cadence (scenario barriers between standby syncs).
@@ -432,6 +434,7 @@ pub fn build() -> HaReport {
         assert!(s.warm_takeover_identical, "{}: takeover diverged", s.name);
     }
     HaReport {
+        header: crate::bench_json::BenchHeader::new("ha", "default"),
         benchmark: "ha".to_string(),
         sync_every_barriers: SYNC_EVERY,
         snapshot_cadence: SNAPSHOT_CADENCE,

@@ -13,6 +13,7 @@ pub mod bench_json;
 pub mod bench_wal;
 pub mod experiments;
 pub mod ha_target;
+pub mod measure_target;
 pub mod noc_target;
 pub mod registry;
 pub mod scale_target;

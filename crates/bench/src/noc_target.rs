@@ -123,6 +123,8 @@ pub struct ScenarioReport {
 /// The machine-readable report written to `BENCH_noc.json`.
 #[derive(Serialize)]
 pub struct NocReport {
+    /// Common `BENCH_*.json` header.
+    pub header: crate::bench_json::BenchHeader,
     /// Report name, fixed to `noc`.
     pub benchmark: String,
     /// Scrape cadence driving both scenarios (seconds).
@@ -293,6 +295,7 @@ pub fn build(outcomes: &[Outcome]) -> (NocReport, String) {
         );
     }
     let report = NocReport {
+        header: crate::bench_json::BenchHeader::new("noc", "default"),
         benchmark: "noc".to_string(),
         scrape_secs: SCRAPE_SECS,
         scenarios,

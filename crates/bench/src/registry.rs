@@ -21,6 +21,9 @@ pub enum Category {
     Economics,
     /// Observability: tracing, telemetry, alarm correlation.
     Observability,
+    /// Measurement: active probing, available-bandwidth estimation,
+    /// estimation-aware BoD.
+    Measurement,
     /// Durability: WAL, snapshots, failover.
     Durability,
     /// Continental-scale sweeps over generated plants.
@@ -35,6 +38,7 @@ impl Category {
             Category::Perf => "perf",
             Category::Economics => "economics",
             Category::Observability => "observability",
+            Category::Measurement => "measurement",
             Category::Durability => "durability",
             Category::Scale => "scale",
         }
@@ -47,6 +51,7 @@ pub const CATEGORIES: &[Category] = &[
     Category::Perf,
     Category::Economics,
     Category::Observability,
+    Category::Measurement,
     Category::Durability,
     Category::Scale,
 ];
@@ -228,6 +233,12 @@ pub const TARGETS: &[Target] = &[
         run: slo,
     },
     Target {
+        name: "measure",
+        about: "writes BENCH_measure.json + measure_exposition.txt (probing, estimation, regret)",
+        category: Category::Measurement,
+        run: measure,
+    },
+    Target {
         name: "ha",
         about: "writes BENCH_ha.json (WAL, snapshots, crash-point failover)",
         category: Category::Durability,
@@ -273,6 +284,10 @@ fn noc() -> String {
 
 fn slo() -> String {
     crate::slo_target::emit("BENCH_slo.json", "slo_exposition.txt")
+}
+
+fn measure() -> String {
+    crate::measure_target::emit("BENCH_measure.json", "measure_exposition.txt")
 }
 
 fn ha() -> String {

@@ -107,6 +107,8 @@ pub struct ScalePoint {
 /// The `BENCH_scale.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScaleReport {
+    /// Common `BENCH_*.json` header.
+    pub header: crate::bench_json::BenchHeader,
     /// Report identifier.
     pub benchmark: String,
     /// Sweep profile (`full` or `reduced`).
@@ -382,6 +384,10 @@ pub fn emit(path: &str) -> String {
     );
 
     let report = ScaleReport {
+        header: crate::bench_json::BenchHeader::new(
+            "scale",
+            if reduced { "reduced" } else { "full" },
+        ),
         benchmark: "scale_sweep".into(),
         sweep: if reduced { "reduced" } else { "full" }.into(),
         threads,

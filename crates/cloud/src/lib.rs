@@ -46,7 +46,8 @@ pub use portal::{CspPortal, PortalError};
 pub use profile::RateProfile;
 pub use replication::ReplicationPolicy;
 pub use scheduler::{
-    BodPolicy, DeadlineBodPolicy, MultiPairBod, PolicyOutcome, StaticLinePolicy, StoreForwardPolicy,
+    BodPolicy, DeadlineBodPolicy, MeasuredBodPolicy, MeasuredMode, MeasuredRun, MultiPairBod,
+    PolicyOutcome, StaticLinePolicy, StoreForwardPolicy,
 };
 pub use transfer::{Transfer, TransferLog};
 pub use workload::{BulkJob, JobId, WorkloadConfig, WorkloadGenerator};

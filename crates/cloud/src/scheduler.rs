@@ -30,7 +30,9 @@
 use simcore::{DataRate, DataSize, SimDuration, SimTime};
 
 use griphon::controller::Controller;
-use griphon::{ConnState, ConnectionId, CustomerId};
+use griphon::{
+    ConnState, ConnectionId, CustomerId, MeasureOutcome, ProbeConfig, ProbePath, Prober,
+};
 use photonic::{LineRate, RoadmId};
 
 use crate::event::{grid_ceil, FifoQueue};
@@ -1147,6 +1149,259 @@ impl DeadlineBodPolicy {
     }
 }
 
+/// What the estimation-aware BoD variant knows about the shared path's
+/// free capacity when sizing wavelength orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasuredMode {
+    /// No measurement: size as if the shared path contributes nothing.
+    /// The fixed-size baseline every prior BoD policy implements.
+    Fixed,
+    /// Size from the prober's smoothed available-bandwidth estimate —
+    /// the measurement feedback loop.
+    Estimated,
+    /// Size from the fluid ground truth: the perfect-knowledge
+    /// reference that policy regret is measured against.
+    Oracle,
+}
+
+/// GRIPhoN BoD with a measurement feedback loop (`DESIGN.md` §15).
+///
+/// The pair's bulk traffic rides a *shared* path — a bottleneck of
+/// known capacity carrying everyone else's cross traffic — and may
+/// additionally order dedicated wavelengths. The free capacity of the
+/// shared path moves with the cross traffic; only paid wavelengths are
+/// billed. The policy auto-sizes its calendar of orders from what it
+/// believes the shared path will contribute ([`MeasuredMode`]):
+/// `need_paid = desired − estimated_free`, ordered one 10 G wavelength
+/// per decision tick as in [`BodPolicy`].
+///
+/// Two feedback actions close the loop against the SLA drain target:
+///
+/// - **upgrade** — when the path under-delivers (true free capacity
+///   below [`Self::underdelivery_margin`] of the estimate for two
+///   consecutive ticks while backlogged), order beyond the sized plan;
+/// - **downgrade** — when the committed rate exceeds the sized plan by
+///   a full wavelength for three consecutive ticks, release one member
+///   before the idle-release timer would.
+///
+/// [`MeasuredRun::score`] charges paid gigabit-hours plus a lateness
+/// penalty per job-hour past `created + sla_drain`; regret is the score
+/// gap to the [`MeasuredMode::Oracle`] run of the same scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredBodPolicy {
+    /// Ceiling on *ordered* bandwidth (the access pipe).
+    pub max_rate: DataRate,
+    /// Size orders to drain the current backlog within this target.
+    pub drain_target: SimDuration,
+    /// Tear everything down only after the queue has been empty this
+    /// long.
+    pub idle_release: SimDuration,
+    /// The SLA: every job should complete within this of its creation.
+    pub sla_drain: SimDuration,
+    /// Under-delivery trigger: true free capacity below this fraction
+    /// of the estimate counts as a miss.
+    pub underdelivery_margin: f64,
+    /// Score penalty in Gbps·hours per late job-hour.
+    pub lateness_penalty: f64,
+    /// What the sizing loop knows about the shared path.
+    pub mode: MeasuredMode,
+}
+
+impl Default for MeasuredBodPolicy {
+    fn default() -> Self {
+        MeasuredBodPolicy {
+            max_rate: DataRate::from_gbps(40),
+            drain_target: SimDuration::from_hours(1),
+            idle_release: SimDuration::from_mins(10),
+            sla_drain: SimDuration::from_hours(2),
+            underdelivery_margin: 0.8,
+            lateness_penalty: 40.0,
+            mode: MeasuredMode::Estimated,
+        }
+    }
+}
+
+/// What a [`MeasuredBodPolicy`] run produced: the standard outcome plus
+/// the estimation/SLA accounting and the measurement plane's record.
+#[derive(Debug)]
+pub struct MeasuredRun {
+    /// Completion stats and paid-bandwidth accounting (paid wavelengths
+    /// only — harvested shared capacity is free).
+    pub outcome: PolicyOutcome,
+    /// Σ max(0, completion − (created + sla_drain)) over jobs, hours.
+    /// Unfinished jobs accrue lateness to the horizon.
+    pub late_job_hours: f64,
+    /// Decision ticks at which the path under-delivered vs the estimate.
+    pub under_delivery_ticks: u64,
+    /// Wavelengths ordered by the under-delivery trigger.
+    pub upgrades: u64,
+    /// Members released early by the surplus trigger.
+    pub downgrades: u64,
+    /// Paid Gbps·hours + lateness_penalty × late_job_hours. Lower is
+    /// better; subtract the oracle's score for regret.
+    pub score: f64,
+    /// The prober's estimation record and observability artifacts.
+    pub measure: MeasureOutcome,
+}
+
+impl MeasuredBodPolicy {
+    /// Run the pair's jobs against a live controller with a prober on
+    /// the shared path. The `observability` flag gates only what the
+    /// measurement plane *records* (spans, samplers, metric families) —
+    /// estimates, RNG draws and every decision are identical either
+    /// way, which is the per-cell digest-identity invariant `repro
+    /// measure` asserts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        ctl: &mut Controller,
+        customer: CustomerId,
+        from: RoadmId,
+        to: RoadmId,
+        jobs: Vec<BulkJob>,
+        horizon: SimDuration,
+        tick: SimDuration,
+        path: ProbePath,
+        probe_cfg: ProbeConfig,
+        seed: u64,
+        observability: bool,
+    ) -> MeasuredRun {
+        let cap_gbps = path.capacity.gbps_f64();
+        let mut prober = Prober::new(path, probe_cfg, seed, observability);
+        let mut run = PairRun::new(jobs);
+        let start = ctl.now();
+        let end = start + horizon;
+        let ten_g = DataRate::from_gbps(10);
+        let mut members: Vec<ConnectionId> = Vec::new();
+        let mut idle_since: Option<SimTime> = None;
+        let mut gbit_seconds = 0.0;
+        let mut peak: f64 = 0.0;
+        let mut setups = 0u64;
+        let mut under_delivery_ticks = 0u64;
+        let mut upgrades = 0u64;
+        let mut downgrades = 0u64;
+        let mut low_streak = 0u32;
+        let mut surplus_streak = 0u32;
+        let mut t = start;
+        while t < end {
+            ctl.run_until(t);
+            // Job and probe times are relative to the policy start.
+            let rel_now = SimTime::from_nanos(t.since(start).as_nanos());
+            prober.advance_to(rel_now);
+            run.admit(rel_now);
+            let (active_rate, committed) = member_rates(ctl, &members);
+            // Delivered rate = true free capacity of the shared path
+            // (whether or not the policy knows it) + paid wavelengths.
+            let free_true = prober.true_available(rel_now);
+            run.advance(rel_now, tick, active_rate + free_true);
+            gbit_seconds += active_rate.gbps_f64() * tick.as_secs_f64();
+            peak = peak.max(active_rate.gbps_f64());
+            // What the sizing loop believes the path contributes.
+            let est_free = match self.mode {
+                MeasuredMode::Fixed => DataRate::ZERO,
+                MeasuredMode::Estimated => prober.estimate().unwrap_or(DataRate::ZERO),
+                MeasuredMode::Oracle => free_true,
+            };
+            ctl.noc.observe_available_bw(
+                prober.path().name,
+                est_free.gbps_f64(),
+                100.0 * (est_free.gbps_f64() - free_true.gbps_f64()).abs() / cap_gbps,
+            );
+            let backlog = run.backlog();
+            if backlog.is_zero() {
+                low_streak = 0;
+                surplus_streak = 0;
+                if !members.is_empty() {
+                    match idle_since {
+                        None => idle_since = Some(t),
+                        Some(since) if t.since(since) >= self.idle_release => {
+                            for id in members.drain(..) {
+                                let _ = ctl.request_teardown(id);
+                            }
+                            idle_since = None;
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                idle_since = None;
+                let desired = backlog_desired(backlog, self.drain_target, self.max_rate);
+                let need_paid = desired.saturating_sub(est_free);
+                let mut ordered = false;
+                if need_paid > committed && committed + ten_g <= self.max_rate {
+                    if let Ok(id) = ctl.request_wavelength(customer, from, to, LineRate::Gbps10) {
+                        members.push(id);
+                        setups += 1;
+                        ordered = true;
+                    }
+                }
+                // Under-delivery: the path gave measurably less than the
+                // estimate the plan was sized with.
+                let miss = free_true.gbps_f64() < self.underdelivery_margin * est_free.gbps_f64();
+                if miss {
+                    under_delivery_ticks += 1;
+                    low_streak += 1;
+                } else {
+                    low_streak = 0;
+                }
+                if !ordered && low_streak >= 2 && committed + ten_g <= self.max_rate {
+                    if let Ok(id) = ctl.request_wavelength(customer, from, to, LineRate::Gbps10) {
+                        members.push(id);
+                        setups += 1;
+                        upgrades += 1;
+                        low_streak = 0;
+                    }
+                }
+                // Surplus: a full wavelength more than the plan needs,
+                // sustained — shed it before the idle timer would.
+                if committed.saturating_sub(need_paid) >= ten_g {
+                    surplus_streak += 1;
+                } else {
+                    surplus_streak = 0;
+                }
+                if surplus_streak >= 3 {
+                    if let Some(id) = members.pop() {
+                        let _ = ctl.request_teardown(id);
+                        downgrades += 1;
+                    }
+                    surplus_streak = 0;
+                }
+            }
+            t += tick;
+            if run.all_done() && members.is_empty() {
+                break;
+            }
+        }
+        for id in members {
+            let _ = ctl.request_teardown(id);
+        }
+        ctl.run_until_idle();
+        let horizon_rel = SimTime::ZERO + horizon;
+        let mut late_job_hours = 0.0;
+        for tr in &run.transfers {
+            let due = tr.job.created + self.sla_drain;
+            let done = tr.completed.unwrap_or(horizon_rel);
+            late_job_hours += done.saturating_since(due).as_secs_f64() / 3600.0;
+        }
+        let outcome = PolicyOutcome {
+            log: TransferLog::summarize(&run.transfers),
+            gbps_hours: gbit_seconds / 3600.0,
+            peak_gbps: peak,
+            setups,
+        };
+        let score = outcome.gbps_hours + self.lateness_penalty * late_job_hours;
+        MeasuredRun {
+            outcome,
+            late_job_hours,
+            under_delivery_ticks,
+            upgrades,
+            downgrades,
+            score,
+            measure: prober.finish(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1571,5 +1826,160 @@ mod tests {
         assert_eq!(out.log.completed, 1);
         assert!(out.setups >= 3, "setups={}", out.setups);
         assert!(out.peak_gbps >= 30.0, "peak={}", out.peak_gbps);
+    }
+
+    use griphon::CrossTraffic;
+
+    /// A 40 G shared path carrying stationary ~20 G cross traffic.
+    fn stationary_path() -> ProbePath {
+        ProbePath {
+            name: "dc-a:dc-b",
+            capacity: DataRate::from_gbps(40),
+            cross: CrossTraffic::stationary(
+                17,
+                DataRate::from_gbps(20),
+                0.1,
+                SimDuration::from_secs(60),
+                SimTime::from_secs(12 * 3600),
+            ),
+        }
+    }
+
+    fn measured_run(mode: MeasuredMode, observability: bool) -> (u32, MeasuredRun) {
+        let (mut ctl, from, to, csp) = bod_setup();
+        let policy = MeasuredBodPolicy {
+            mode,
+            ..MeasuredBodPolicy::default()
+        };
+        let run = policy.run(
+            &mut ctl,
+            csp,
+            from,
+            to,
+            vec![job(0, 30, 0)],
+            SimDuration::from_hours(8),
+            SimDuration::from_secs(60),
+            stationary_path(),
+            ProbeConfig::default(),
+            1234,
+            observability,
+        );
+        (ctl.state_digest_crc(), run)
+    }
+
+    #[test]
+    fn estimation_aware_bod_beats_fixed_on_regret() {
+        let (_, fixed) = measured_run(MeasuredMode::Fixed, false);
+        let (_, est) = measured_run(MeasuredMode::Estimated, false);
+        let (_, oracle) = measured_run(MeasuredMode::Oracle, false);
+        assert_eq!(fixed.outcome.log.completed, 1);
+        assert_eq!(est.outcome.log.completed, 1);
+        // Fixed sizing ignores ~20 G of free shared capacity and pays
+        // for it; the measured plan pays less for similar lateness.
+        let regret_fixed = fixed.score - oracle.score;
+        let regret_est = est.score - oracle.score;
+        assert!(
+            regret_est < regret_fixed,
+            "estimated regret {regret_est:.2} >= fixed regret {regret_fixed:.2}"
+        );
+        assert!(
+            regret_est >= -1e-9,
+            "the oracle must not lose to an estimate: {regret_est:.2}"
+        );
+        assert!(est.measure.trains > 10, "the prober must have run");
+    }
+
+    #[test]
+    fn measured_bod_observability_is_passive() {
+        let (digest_on, on) = measured_run(MeasuredMode::Estimated, true);
+        let (digest_off, off) = measured_run(MeasuredMode::Estimated, false);
+        assert_eq!(
+            digest_on, digest_off,
+            "measurement observability changed controller state"
+        );
+        assert_eq!(on.outcome, off.outcome);
+        assert_eq!(on.score.to_bits(), off.score.to_bits());
+        assert_eq!(on.measure.samples.len(), off.measure.samples.len());
+        // Only the observability artifacts differ.
+        assert!(on.measure.exemplars >= 1);
+        assert_eq!(off.measure.exemplars, 0);
+        assert_eq!(on.measure.span_dropped, 0);
+    }
+
+    #[test]
+    fn measured_bod_upgrades_on_underdelivery() {
+        // Adversarial square wave: free capacity collapses 35 G → 5 G
+        // at t = 2 h while a fresh backlog is queued. The EWMA estimate
+        // lags the collapse, so the sizing plan under-delivers until
+        // the upgrade trigger fires.
+        let (mut ctl, from, to, csp) = bod_setup();
+        let path = ProbePath {
+            name: "dc-a:dc-b",
+            capacity: DataRate::from_gbps(40),
+            cross: CrossTraffic::square(
+                DataRate::from_gbps(5),
+                DataRate::from_gbps(35),
+                SimDuration::from_hours(2),
+                SimTime::from_secs(12 * 3600),
+            ),
+        };
+        let policy = MeasuredBodPolicy {
+            mode: MeasuredMode::Estimated,
+            ..MeasuredBodPolicy::default()
+        };
+        let run = policy.run(
+            &mut ctl,
+            csp,
+            from,
+            to,
+            vec![job(0, 16, 0), job(1, 6, 7100)],
+            SimDuration::from_hours(6),
+            SimDuration::from_secs(60),
+            path,
+            ProbeConfig::default(),
+            7,
+            false,
+        );
+        assert!(
+            run.under_delivery_ticks >= 1,
+            "the collapse must register as under-delivery"
+        );
+        assert!(
+            run.upgrades >= 1,
+            "the under-delivery streak must trigger an upgrade order"
+        );
+        assert_eq!(run.outcome.log.completed, 2);
+    }
+
+    #[test]
+    fn measured_bod_downgrades_on_surplus() {
+        // Oracle knowledge + a shrinking backlog: desired falls while
+        // free capacity stays ~20 G, so committed wavelengths become
+        // surplus and the downgrade trigger sheds them early.
+        let (mut ctl, from, to, csp) = bod_setup();
+        let policy = MeasuredBodPolicy {
+            mode: MeasuredMode::Oracle,
+            ..MeasuredBodPolicy::default()
+        };
+        let run = policy.run(
+            &mut ctl,
+            csp,
+            from,
+            to,
+            vec![job(0, 40, 0)],
+            SimDuration::from_hours(10),
+            SimDuration::from_secs(60),
+            stationary_path(),
+            ProbeConfig::default(),
+            99,
+            false,
+        );
+        assert_eq!(run.outcome.log.completed, 1);
+        assert!(
+            run.downgrades >= 1,
+            "a draining backlog must shed surplus wavelengths"
+        );
+        // Shed wavelengths really stop billing.
+        assert_eq!(ctl.tenants.get(csp).unwrap().in_use, DataRate::ZERO);
     }
 }

@@ -21,6 +21,8 @@
 //! - detects, localizes and automatically restores failures ([`fault`]);
 //! - performs near-hitless bridge-and-roll for planned maintenance and
 //!   re-grooming ([`maintenance`]);
+//! - actively probes shared paths and estimates available bandwidth, the
+//!   feedback signal for estimation-aware BoD ([`measure`]);
 //! - isolates tenants behind quotas ([`tenant`]) and shows each customer
 //!   only their own connections ([`gui`]);
 //! - plans spare resources with Erlang-style tools ([`planning`]);
@@ -58,6 +60,7 @@ pub mod gui;
 pub mod inventory;
 pub mod layers;
 pub mod maintenance;
+pub mod measure;
 pub mod noc;
 pub mod otn_service;
 pub mod planning;
@@ -77,6 +80,9 @@ pub use durability::{
 };
 pub use inventory::InventorySnapshot;
 pub use layers::{Layer, LayerStack, ServiceCategory};
+pub use measure::{
+    AbEstimator, AbSample, CrossTraffic, MeasureOutcome, ProbeConfig, ProbePath, Prober,
+};
 pub use noc::{Noc, RootCause};
 pub use rwa::{RegionMap, RouteCacheStats, RwaConfig, RwaError, WavelengthPlan};
 pub use sla::{nines, nines_value, SlaReport, MAX_NINES};

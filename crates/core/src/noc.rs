@@ -399,6 +399,23 @@ impl Noc {
             .gauge("noc_cloud_pair_members", &[("pair", &p)])
             .set(active_members as f64);
     }
+
+    /// Decision-point observation pushed by the measurement plane: the
+    /// latest available-bandwidth estimate for one probed path and its
+    /// error against the fluid ground truth. Mis-estimation is a NOC
+    /// signal like any alarm — the gauges make it attributable next to
+    /// the backlog it mis-sized.
+    pub fn observe_available_bw(&mut self, path: &str, estimate_gbps: f64, error_pct: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.families
+            .gauge("noc_measure_available_gbps", &[("path", path)])
+            .set(estimate_gbps);
+        self.families
+            .gauge("noc_measure_error_pct", &[("path", path)])
+            .set(error_pct);
+    }
 }
 
 /// Share of free channels *not* reachable in the largest contiguous free

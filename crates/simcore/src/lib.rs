@@ -13,7 +13,8 @@
 //! - [`queue`] — [`Scheduler`], a calendar queue (binary heap with a
 //!   monotonic sequence tiebreak) supporting cancellable timers. Events at
 //!   equal timestamps pop in scheduling order, which makes every simulation
-//!   built on it deterministic.
+//!   built on it deterministic. Also [`FluidQueue`], an exact-integer
+//!   fluid bottleneck queue used by the active-probing measurement plane.
 //! - [`rng`] — [`SimRng`], a small, fully reproducible PRNG
 //!   (SplitMix64-seeded xoshiro256**) with the distributions the workload
 //!   generators need (uniform, exponential, normal, lognormal, Pareto,
@@ -69,7 +70,7 @@ pub use metrics::{
     Counter, CounterSample, Exemplar, FamilyRegistry, Footprint, Gauge, GaugeSample, Histogram,
     HistogramSample, LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,
 };
-pub use queue::{EventId, Scheduler};
+pub use queue::{EventId, FluidQueue, Scheduler};
 pub use rng::SimRng;
 pub use span::{
     AttrValue, Span, SpanId, SpanRecorder, TailSampleConfig, TailSampleStats, TailSampler,

@@ -22,6 +22,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::{SimDuration, SimTime};
+use crate::units::{DataRate, DataSize};
 
 /// Handle to a scheduled event, used to cancel it before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -251,6 +252,72 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// A fluid single-server bottleneck queue with exact integer arithmetic.
+///
+/// The measurement plane (`griphon::measure`) models a shared path as one
+/// FIFO bottleneck of fixed `capacity` fed by piecewise-constant cross
+/// traffic. Between rate breakpoints the fluid evolution is linear, so
+/// the queue can be advanced one constant-rate segment at a time with a
+/// single integer update — no per-packet events, and bit-identical
+/// results regardless of how a segment is subdivided at the same
+/// breakpoints.
+///
+/// All arithmetic goes through [`DataRate::over`] (truncating bits per
+/// segment), which *defines* the model: two simulations advancing through
+/// the same segment boundaries compute the same backlog, which is what
+/// the determinism gates assert.
+#[derive(Clone, Debug)]
+pub struct FluidQueue {
+    capacity: DataRate,
+    backlog: DataSize,
+}
+
+impl FluidQueue {
+    /// An empty queue served at `capacity`.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (the queue would never drain).
+    pub fn new(capacity: DataRate) -> FluidQueue {
+        assert!(capacity > DataRate::ZERO, "FluidQueue with zero capacity");
+        FluidQueue {
+            capacity,
+            backlog: DataSize::ZERO,
+        }
+    }
+
+    /// The service rate.
+    pub fn capacity(&self) -> DataRate {
+        self.capacity
+    }
+
+    /// Bits currently queued.
+    pub fn backlog(&self) -> DataSize {
+        self.backlog
+    }
+
+    /// Advance the queue `dt` under constant fluid `inflow`.
+    ///
+    /// The fluid backlog obeys `W' = inflow − capacity` clamped at zero:
+    /// over a constant-rate segment the closed form is
+    /// `max(W + (inflow − capacity)·dt, 0)`, computed here in integer
+    /// bits. Callers must split at every cross-traffic breakpoint so each
+    /// call really is constant-rate.
+    pub fn advance(&mut self, dt: SimDuration, inflow: DataRate) {
+        self.backlog = (self.backlog + inflow.over(dt)).saturating_sub(self.capacity.over(dt));
+    }
+
+    /// Enqueue a discrete burst (e.g. one probe packet) instantaneously.
+    pub fn push(&mut self, size: DataSize) {
+        self.backlog += size;
+    }
+
+    /// Time until the current backlog drains at `capacity` — the queueing
+    /// delay a bit arriving now would see.
+    pub fn delay(&self) -> SimDuration {
+        self.backlog.time_at(self.capacity)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +503,63 @@ mod tests {
             "bookkeeping grew to {} entries after 1M cycles",
             s.bookkeeping_len()
         );
+    }
+
+    #[test]
+    fn fluid_queue_underload_stays_empty() {
+        let mut q = FluidQueue::new(DataRate::from_gbps(10));
+        q.advance(SimDuration::from_secs(5), DataRate::from_gbps(4));
+        assert!(q.backlog().is_zero());
+        assert_eq!(q.delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fluid_queue_overload_accumulates_exactly() {
+        let mut q = FluidQueue::new(DataRate::from_gbps(10));
+        // 12G into a 10G server for 3 s: 6 Gbit of backlog.
+        q.advance(SimDuration::from_secs(3), DataRate::from_gbps(12));
+        assert_eq!(q.backlog(), DataSize::from_bits(6_000_000_000));
+        // Drains at 10G: 600 ms of delay.
+        assert_eq!(q.delay(), SimDuration::from_millis(600));
+        // 2 s of silence drains 20 Gbit worth — clamps at zero.
+        q.advance(SimDuration::from_secs(2), DataRate::ZERO);
+        assert!(q.backlog().is_zero());
+    }
+
+    #[test]
+    fn fluid_queue_split_segments_match_whole() {
+        // Subdividing a constant-rate segment must not change the result.
+        let mut whole = FluidQueue::new(DataRate::from_gbps(10));
+        whole.push(DataSize::from_bytes(9000));
+        whole.advance(
+            SimDuration::from_nanos(123_456_789),
+            DataRate::from_mbps(12_300),
+        );
+
+        let mut split = FluidQueue::new(DataRate::from_gbps(10));
+        split.push(DataSize::from_bytes(9000));
+        split.advance(
+            SimDuration::from_nanos(100_000_000),
+            DataRate::from_mbps(12_300),
+        );
+        split.advance(
+            SimDuration::from_nanos(23_456_789),
+            DataRate::from_mbps(12_300),
+        );
+        assert_eq!(whole.backlog(), split.backlog());
+        assert!(!whole.backlog().is_zero());
+    }
+
+    #[test]
+    fn fluid_queue_push_adds_delay() {
+        let mut q = FluidQueue::new(DataRate::from_gbps(1));
+        q.push(DataSize::from_bits(1_000_000));
+        assert_eq!(q.delay(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn fluid_queue_zero_capacity_panics() {
+        let _ = FluidQueue::new(DataRate::ZERO);
     }
 }

@@ -260,3 +260,30 @@ fn fleet_telemetry_is_thread_independent() {
     assert_eq!(one, two, "2-thread fleet telemetry diverged");
     assert_eq!(one, eight, "8-thread fleet telemetry diverged");
 }
+
+/// The measurement plane is pure observation: per-cell state digests of
+/// the stationary measured-BoD grid (fixed / estimated / oracle sizing)
+/// are byte-identical with probing spans + tail sampling + metric
+/// families enabled and with observability off.
+#[test]
+fn measurement_is_observationally_passive() {
+    let off = griphon_bench::measure_target::measure_digests(2, false);
+    let on = griphon_bench::measure_target::measure_digests(2, true);
+    assert!(!off.is_empty(), "the grid must yield measured cells");
+    assert_eq!(
+        off, on,
+        "enabling the measurement plane changed controller state digests"
+    );
+}
+
+/// Probing, estimation, and the estimate exposition are pure functions
+/// of the seeds: cell digests *and* the exposition bytes must be
+/// identical for 1, 2, and 8 worker threads.
+#[test]
+fn measurement_plane_is_thread_independent() {
+    let one = griphon_bench::measure_target::measure_fingerprint(1);
+    let two = griphon_bench::measure_target::measure_fingerprint(2);
+    let eight = griphon_bench::measure_target::measure_fingerprint(8);
+    assert_eq!(one, two, "2-thread measurement plane diverged");
+    assert_eq!(one, eight, "8-thread measurement plane diverged");
+}

@@ -893,3 +893,63 @@ proptest! {
         prop_assert_eq!(rollup.expose(), direct.expose());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Probe-gap estimation converges under stationary cross traffic:
+    /// with noiseless timestamps every train's raw estimate matches the
+    /// fluid ground truth, and the EWMA stays inside the jitter band
+    /// around the mean free capacity — whatever the load level, jitter
+    /// amplitude, or seed.
+    #[test]
+    fn probe_gap_converges_under_stationary_cross(
+        seed in any::<u64>(),
+        mean_gbps in 2u64..31,
+        jitter in 0u32..20,
+    ) {
+        use griphon::{CrossTraffic, ProbeConfig, ProbePath, Prober};
+
+        let capacity = DataRate::from_gbps(40);
+        let mean = DataRate::from_gbps(mean_gbps);
+        let jitter_frac = jitter as f64 / 100.0;
+        let horizon = SimTime::from_secs(2 * 3600);
+        let path = ProbePath {
+            name: "prop:stationary",
+            capacity,
+            cross: CrossTraffic::stationary(
+                seed,
+                mean,
+                jitter_frac,
+                SimDuration::from_secs(60),
+                horizon,
+            ),
+        };
+        let mut prober = Prober::new(
+            path,
+            ProbeConfig { noise_ns: 0.0, ..ProbeConfig::default() },
+            seed ^ 0x9806E,
+            false,
+        );
+        prober.advance_to(horizon);
+        prop_assert_eq!(prober.probes_dropped(), 0);
+        prop_assert!(prober.samples().len() > 100, "only {} trains ran", prober.samples().len());
+        // Noiseless probe-gap through a fluid bottleneck is exact per
+        // train (small slack for the integer rate grid).
+        for s in prober.samples() {
+            prop_assert!(
+                (s.raw_gbps - s.true_gbps).abs() < 0.05,
+                "raw {} vs truth {} at {}", s.raw_gbps, s.true_gbps, s.at
+            );
+        }
+        // The EWMA is a convex combination of raw estimates, so it must
+        // converge into the jitter band around the mean free capacity.
+        let est = prober.estimate().expect("trains ran").gbps_f64();
+        let free = (capacity.gbps_f64()) - mean_gbps as f64;
+        let band = jitter_frac * mean_gbps as f64 + 0.1;
+        prop_assert!(
+            (est - free).abs() <= band,
+            "estimate {} outside {} +/- {}", est, free, band
+        );
+    }
+}
