@@ -18,6 +18,7 @@ pub mod noc_target;
 pub mod registry;
 pub mod scale_target;
 pub mod scenario;
+pub mod serve_target;
 pub mod slo_target;
 pub mod table;
 pub mod trace_target;

@@ -28,6 +28,8 @@ pub enum Category {
     Durability,
     /// Continental-scale sweeps over generated plants.
     Scale,
+    /// Service plane: the northbound intent API under tenant load.
+    Service,
 }
 
 impl Category {
@@ -41,6 +43,7 @@ impl Category {
             Category::Measurement => "measurement",
             Category::Durability => "durability",
             Category::Scale => "scale",
+            Category::Service => "service",
         }
     }
 }
@@ -54,6 +57,7 @@ pub const CATEGORIES: &[Category] = &[
     Category::Measurement,
     Category::Durability,
     Category::Scale,
+    Category::Service,
 ];
 
 /// One runnable `repro` target.
@@ -256,6 +260,12 @@ pub const TARGETS: &[Target] = &[
         category: Category::Scale,
         run: scale,
     },
+    Target {
+        name: "serve",
+        about: "writes BENCH_serve.json (intent API server: fleet × load sweep, fairness)",
+        category: Category::Service,
+        run: serve,
+    },
 ];
 
 fn fig1() -> String {
@@ -300,6 +310,10 @@ fn bench_wal() -> String {
 
 fn scale() -> String {
     crate::scale_target::emit("BENCH_scale.json")
+}
+
+fn serve() -> String {
+    crate::serve_target::emit("BENCH_serve.json")
 }
 
 /// Look up a target by name.

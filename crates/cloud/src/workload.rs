@@ -101,12 +101,7 @@ impl WorkloadGenerator {
     /// Interactive demand between a site pair at time `t` — a smooth
     /// diurnal curve with its peak at local noon and floor at midnight.
     pub fn interactive_rate(&self, t: SimTime) -> DataRate {
-        let day = 86_400.0;
-        let phase = (t.as_secs_f64() % day) / day * std::f64::consts::TAU;
-        // cos peaks at phase 0 = midnight; shift so noon is the crest.
-        let level = 0.5 - 0.5 * phase.cos(); // 0 at midnight, 1 at noon
-        let floor = self.config.diurnal_floor;
-        let scale = floor + (1.0 - floor) * level;
+        let scale = simcore::diurnal_day_factor(t.as_secs_f64(), self.config.diurnal_floor);
         DataRate::from_bps((self.config.interactive_peak.bps() as f64 * scale) as u64)
     }
 
@@ -128,10 +123,13 @@ impl WorkloadGenerator {
             if t.as_nanos() >= horizon.as_nanos() {
                 break;
             }
-            let raw = self
-                .rng
-                .pareto(self.config.bulk_min.bits() as f64, self.config.bulk_alpha);
-            let size = DataSize::from_bits((raw as u64).min(self.config.bulk_max.bits()));
+            let bits = simcore::bounded_pareto_bits(
+                &mut self.rng,
+                self.config.bulk_min.bits() as f64,
+                self.config.bulk_alpha,
+                self.config.bulk_max.bits(),
+            );
+            let size = DataSize::from_bits(bits);
             let deadline = self.rng.chance(self.config.deadline_fraction).then(|| {
                 let base = size.time_at(DataRate::from_gbps(10));
                 t + base.mul_f64(self.config.deadline_slack)

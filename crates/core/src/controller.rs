@@ -710,6 +710,14 @@ impl Controller {
         self.sched.events_delivered()
     }
 
+    /// Live events waiting in the southbound scheduler. Together with
+    /// [`Self::peek_event_time`] this is the backlog signal the service
+    /// plane exports as a labeled gauge, so NOC scrapes can watch
+    /// southbound pressure build during overload scenarios.
+    pub fn pending_events(&self) -> usize {
+        self.sched.pending()
+    }
+
     // ── lookups ─────────────────────────────────────────────────────
 
     /// Read a connection.

@@ -157,8 +157,8 @@ impl CrossTraffic {
         let mut steps = Vec::new();
         let mut t = SimTime::ZERO;
         while t < horizon {
-            let x = std::f64::consts::TAU * t.as_secs_f64() / period.as_secs_f64() + phase;
-            let bps = base.bps() as f64 + amplitude.bps() as f64 * x.sin();
+            let s = simcore::diurnal_sin(t.as_secs_f64(), period.as_secs_f64(), phase);
+            let bps = base.bps() as f64 + amplitude.bps() as f64 * s;
             steps.push((t, DataRate::from_bps(bps.max(0.0) as u64)));
             t += interval;
         }

@@ -19,6 +19,12 @@
 //!   (SplitMix64-seeded xoshiro256**) with the distributions the workload
 //!   generators need (uniform, exponential, normal, lognormal, Pareto,
 //!   weighted choice).
+//! - [`dist`] — shared heavy-tailed and diurnal sampling helpers
+//!   (Zipf rank sampling, bounded Pareto, diurnal factors) used by the
+//!   workload, measurement and service planes.
+//! - [`flow`] — exact-integer request-plane primitives: [`TokenBucket`]
+//!   rate limiting and [`BoundedQueue`] admission queues with explicit
+//!   shed-load reporting.
 //! - [`metrics`] — counters, gauges, log-linear histograms and time series
 //!   for recording experiment output, plus labeled metric families
 //!   ([`FamilyRegistry`]) with Prometheus-style text exposition and a
@@ -56,6 +62,8 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod dist;
+pub mod flow;
 pub mod ids;
 pub mod metrics;
 pub mod queue;
@@ -66,6 +74,8 @@ pub mod trace;
 pub mod units;
 
 pub use codec::{crc32c, crc32c_reference, CodecError, Crc32c, CrcWriter, Decoder, Encoder};
+pub use dist::{bounded_pareto_bits, diurnal_day_factor, diurnal_sin, zipf_weights, ZipfSampler};
+pub use flow::{BoundedQueue, PushOutcome, RateLimited, TokenBucket};
 pub use metrics::{
     Counter, CounterSample, Exemplar, FamilyRegistry, Footprint, Gauge, GaugeSample, Histogram,
     HistogramSample, LatencyRecorder, MetricsRegistry, MetricsSnapshot, TimeSeries,

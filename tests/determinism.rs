@@ -287,3 +287,52 @@ fn measurement_plane_is_thread_independent() {
     assert_eq!(one, two, "2-thread measurement plane diverged");
     assert_eq!(one, eight, "8-thread measurement plane diverged");
 }
+
+/// The northbound service plane leaves zero residue in controller
+/// state: replaying the admitted-intent stream of a full server run
+/// (auth, token buckets, bounded queues, quota, priority drains, spans,
+/// metrics) against a bare controller yields a byte-identical state
+/// digest.
+#[test]
+fn api_server_is_observationally_passive() {
+    use northbound::{
+        build_testbed, generate_fleet, replay_admitted, ApiServer, FleetConfig, ServerConfig,
+        TenantDirectory,
+    };
+    let cfg = FleetConfig {
+        tenants: 5_000,
+        seed: 0x0FF,
+        ..FleetConfig::default()
+    };
+    let dir = TenantDirectory::new(cfg.tenants, cfg.seed);
+    let requests = generate_fleet(&cfg, &dir);
+    let mut server = ApiServer::new(
+        build_testbed(14, cfg.pairs, cfg.seed),
+        dir,
+        ServerConfig::default(),
+    );
+    server.run(&requests, cfg.horizon);
+    let outcome = server.finish();
+    assert!(!outcome.admitted.is_empty(), "the run must admit intents");
+    let off = replay_admitted(
+        build_testbed(14, cfg.pairs, cfg.seed),
+        &outcome.admitted,
+        cfg.horizon,
+    );
+    assert_eq!(
+        outcome.digest_crc, off,
+        "the service plane left residue in controller state"
+    );
+}
+
+/// The serve grid is pure scheduling: server-on cell digests must be
+/// byte-identical for 1, 2, and 8 worker threads.
+#[test]
+fn serve_grid_is_thread_independent() {
+    let one = griphon_bench::serve_target::serve_fingerprint(1);
+    let two = griphon_bench::serve_target::serve_fingerprint(2);
+    let eight = griphon_bench::serve_target::serve_fingerprint(8);
+    assert!(!one.is_empty(), "the grid must yield serve cells");
+    assert_eq!(one, two, "2-thread serve grid diverged");
+    assert_eq!(one, eight, "8-thread serve grid diverged");
+}
